@@ -1,0 +1,70 @@
+"""Inclusion policy x prefetching interplay.
+
+The paper cites Backes & Jimenez (MEMSYS 2019, [1]): recently proposed LLC
+management policies deliver their gains in non-inclusive LLCs and suffer
+in inclusive ones because of inclusion victims -- and prefetching
+amplifies the pressure.  This bench runs the inclusive baseline, the
+non-inclusive design and ZIV with the stride prefetcher on and off.
+"""
+
+from repro.experiments.common import (
+    FigureResult,
+    cached_run,
+    get_scale,
+    mix_population,
+)
+from repro.params import PrefetchParams, scaled_config
+from repro.sim.metrics import geomean, mix_speedup
+
+
+def run_prefetch_interplay(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    fig = FigureResult(
+        figure="Ablation-G",
+        title="Inclusion x prefetching @512KB, Hawkeye (norm. I, pf off)",
+        columns=["prefetch", "scheme", "speedup", "incl_victims",
+                 "pf_useful_rate"],
+    )
+    base_cfg = scaled_config("512KB")
+    baselines = [
+        cached_run(wl, "inclusive", "hawkeye", config=base_cfg)
+        for wl in mixes
+    ]
+    for pf_on in (False, True):
+        cfg = base_cfg
+        if pf_on:
+            cfg = base_cfg.replace(
+                prefetch=PrefetchParams(kind="stride", degree=2)
+            )
+        for scheme in ("inclusive", "noninclusive", "ziv:mrlikelydead"):
+            runs = [
+                cached_run(wl, scheme, "hawkeye", config=cfg)
+                for wl in mixes
+            ]
+            sp = geomean(
+                mix_speedup(b, r) for b, r in zip(baselines, runs)
+            )
+            victims = sum(r.stats.inclusion_victims_llc for r in runs)
+            issued = sum(r.stats.prefetches_issued for r in runs)
+            useful = sum(r.stats.prefetch_useful for r in runs)
+            fig.add(
+                "stride" if pf_on else "off",
+                scheme,
+                sp,
+                victims,
+                useful / issued if issued else 0.0,
+            )
+    return fig
+
+
+def test_ablation_prefetch_interplay(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_prefetch_interplay(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    rows = result.row_map(2)
+    # ZIV stays inclusion-victim-free even with the prefetcher on
+    assert rows[("stride", "ziv:mrlikelydead")][1] == 0
+    assert rows[("off", "ziv:mrlikelydead")][1] == 0

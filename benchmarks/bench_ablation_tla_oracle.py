@@ -1,0 +1,51 @@
+"""Extra ablation benches: the full TLA family (TLH/ECI/QBS) and the gap
+to the oracle-optimal relocation victim (paper Section VI future work)."""
+
+from repro.experiments import ablations
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    speedups_vs_baseline,
+)
+
+
+def run_tla_family(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Ablation-E",
+        title="TLA family vs ZIV @512KB, LRU (norm. I-LRU 256KB)",
+        columns=["scheme", "speedup", "incl_victims"],
+    )
+    for scheme in ("inclusive", "tlh", "eci", "qbs", "ziv:likelydead",
+                   "noninclusive"):
+        runs = [cached_run(wl, scheme, "lru", l2="512KB") for wl in mixes]
+        s = speedups_vs_baseline(mixes, baseline, runs)
+        fig.add(scheme, s["mean"],
+                sum(r.stats.inclusion_victims_llc for r in runs))
+    return fig
+
+
+def test_ablation_tla_family(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_tla_family(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    assert result.rows
+    by_scheme = {r[0]: r for r in result.rows}
+    # the ZIV guarantee: zero inclusion victims; TLA schemes give none
+    assert by_scheme["ziv:likelydead"][2] == 0
+
+
+def test_ablation_oracle_gap(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_oracle_gap(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    assert result.rows

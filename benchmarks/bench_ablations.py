@@ -1,0 +1,31 @@
+"""Ablation benches for the ZIV design choices (DESIGN.md §7):
+property ladder, round-robin nextRS, and CHAR threshold dynamics."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_property_ladder(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_property_ladder(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    assert result.rows
+
+
+def test_ablation_round_robin(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_round_robin(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    assert result.rows
+
+
+def test_ablation_char_threshold(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_char_threshold(scale), rounds=1, iterations=1
+    )
+    print()
+    result.print_table()
+    assert result.rows

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig01 (see repro.experiments.fig01_motivation)."""
+
+from conftest import run_and_print
+
+
+def test_fig01_motivation(benchmark, scale):
+    result = run_and_print(benchmark, "fig01_motivation", scale)
+    assert result.rows, "figure produced no rows"

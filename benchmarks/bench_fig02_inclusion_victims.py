@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig02 (see repro.experiments.fig02_inclusion_victims)."""
+
+from conftest import run_and_print
+
+
+def test_fig02_inclusion_victims(benchmark, scale):
+    result = run_and_print(benchmark, "fig02_inclusion_victims", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig03 (see repro.experiments.fig03_llc_misses)."""
+
+from conftest import run_and_print
+
+
+def test_fig03_llc_misses(benchmark, scale):
+    result = run_and_print(benchmark, "fig03_llc_misses", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig04 (see repro.experiments.fig04_l2_misses)."""
+
+from conftest import run_and_print
+
+
+def test_fig04_l2_misses(benchmark, scale):
+    result = run_and_print(benchmark, "fig04_l2_misses", scale)
+    assert result.rows, "figure produced no rows"

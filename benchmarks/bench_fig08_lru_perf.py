@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig08 (see repro.experiments.fig08_lru_perf)."""
+
+from conftest import run_and_print
+
+
+def test_fig08_lru_perf(benchmark, scale):
+    result = run_and_print(benchmark, "fig08_lru_perf", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig09 (see repro.experiments.fig09_permix_lru)."""
+
+from conftest import run_and_print
+
+
+def test_fig09_permix_lru(benchmark, scale):
+    result = run_and_print(benchmark, "fig09_permix_lru", scale)
+    assert result.rows, "figure produced no rows"

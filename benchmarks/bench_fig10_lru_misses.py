@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig10 (see repro.experiments.fig10_lru_misses)."""
+
+from conftest import run_and_print
+
+
+def test_fig10_lru_misses(benchmark, scale):
+    result = run_and_print(benchmark, "fig10_lru_misses", scale)
+    assert result.rows, "figure produced no rows"

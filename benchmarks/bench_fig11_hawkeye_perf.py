@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig11 (see repro.experiments.fig11_hawkeye_perf)."""
+
+from conftest import run_and_print
+
+
+def test_fig11_hawkeye_perf(benchmark, scale):
+    result = run_and_print(benchmark, "fig11_hawkeye_perf", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig12 (see repro.experiments.fig12_permix_hawkeye)."""
+
+from conftest import run_and_print
+
+
+def test_fig12_permix_hawkeye(benchmark, scale):
+    result = run_and_print(benchmark, "fig12_permix_hawkeye", scale)
+    assert result.rows, "figure produced no rows"

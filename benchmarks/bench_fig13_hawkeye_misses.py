@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig13 (see repro.experiments.fig13_hawkeye_misses)."""
+
+from conftest import run_and_print
+
+
+def test_fig13_hawkeye_misses(benchmark, scale):
+    result = run_and_print(benchmark, "fig13_hawkeye_misses", scale)
+    assert result.rows, "figure produced no rows"

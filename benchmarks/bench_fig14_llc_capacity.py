@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig14 (see repro.experiments.fig14_llc_capacity)."""
+
+from conftest import run_and_print
+
+
+def test_fig14_llc_capacity(benchmark, scale):
+    result = run_and_print(benchmark, "fig14_llc_capacity", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig15 (see repro.experiments.fig15_sparse_dir)."""
+
+from conftest import run_and_print
+
+
+def test_fig15_sparse_dir(benchmark, scale):
+    result = run_and_print(benchmark, "fig15_sparse_dir", scale)
+    assert result.rows, "figure produced no rows"

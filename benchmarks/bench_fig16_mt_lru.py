@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig16 (see repro.experiments.fig16_mt_lru)."""
+
+from conftest import run_and_print
+
+
+def test_fig16_mt_lru(benchmark, scale):
+    result = run_and_print(benchmark, "fig16_mt_lru", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig17 (see repro.experiments.fig17_mt_hawkeye)."""
+
+from conftest import run_and_print
+
+
+def test_fig17_mt_hawkeye(benchmark, scale):
+    result = run_and_print(benchmark, "fig17_mt_hawkeye", scale)
+    assert result.rows, "figure produced no rows"

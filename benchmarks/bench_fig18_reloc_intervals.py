@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig18 (see repro.experiments.fig18_reloc_intervals)."""
+
+from conftest import run_and_print
+
+
+def test_fig18_reloc_intervals(benchmark, scale):
+    result = run_and_print(benchmark, "fig18_reloc_intervals", scale)
+    assert result.rows, "figure produced no rows"

@@ -1,0 +1,8 @@
+"""Regenerates the paper's fig19 (see repro.experiments.fig19_energy)."""
+
+from conftest import run_and_print
+
+
+def test_fig19_energy(benchmark, scale):
+    result = run_and_print(benchmark, "fig19_energy", scale)
+    assert result.rows, "figure produced no rows"

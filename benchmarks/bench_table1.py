@@ -1,0 +1,8 @@
+"""Regenerates the paper's table1 (see repro.experiments.table1)."""
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark, scale):
+    result = run_and_print(benchmark, "table1", scale)
+    assert result.rows, "figure produced no rows"

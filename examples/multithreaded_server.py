@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Multi-threaded and server workloads (a miniature of the paper's
+Figs. 16-17).
+
+Runs the PARSEC/SPEC-OMP-like shared-memory applications on the 8-core
+machine and the TPC-E-like profile on the scaled many-core machine, under
+the inclusive baseline, the non-inclusive LLC, QBS, and ZIV.
+
+Observations to look for (mirroring the paper):
+* canneal/facesim/vips are barely sensitive to inclusion victims;
+* QBS can fall *below* the inclusive baseline on LLC-reuse-heavy apps
+  (it sacrifices LLC hits to protect private copies);
+* applu and TPC-E reward the ZIV designs.
+
+Run:  python examples/multithreaded_server.py [accesses]
+"""
+
+import sys
+
+from repro import (
+    mix_speedup,
+    multithreaded_workload,
+    run_workload,
+    scaled_config,
+    scaled_manycore_config,
+)
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    schemes = (
+        ("inclusive", "I"),
+        ("noninclusive", "NI"),
+        ("qbs", "QBS"),
+        ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
+    )
+    print(f"{'app':10s}" + "".join(f"{label:>18s}" for _s, label in schemes))
+
+    for app in ("canneal", "facesim", "vips", "applu"):
+        cfg = scaled_config("512KB")
+        wl = multithreaded_workload(app, cores=cfg.cores, n_accesses=accesses)
+        base = run_workload(cfg, wl, "inclusive", "hawkeye")
+        cells = []
+        for scheme, _label in schemes:
+            r = run_workload(cfg, wl, scheme, "hawkeye")
+            cells.append(f"{mix_speedup(base, r):>18.3f}")
+        print(f"{app:10s}" + "".join(cells))
+
+    cfg = scaled_manycore_config()
+    wl = multithreaded_workload("tpce", cores=cfg.cores, n_accesses=accesses)
+    base = run_workload(cfg, wl, "inclusive", "hawkeye")
+    cells = []
+    for scheme, _label in schemes:
+        r = run_workload(cfg, wl, scheme, "hawkeye")
+        cells.append(f"{mix_speedup(base, r):>18.3f}")
+    print(f"{'tpce(16c)':10s}" + "".join(cells))
+    print("\n(speedup per app normalised to its own inclusive baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build a CMP, run one workload under three LLC designs, and
+watch the ZIV LLC eliminate inclusion victims.
+
+The workload is the paper's Section I-A troublemaker: a circular access
+pattern whose footprint exceeds the per-core LLC share, mixed with a
+cache-resident application that becomes the *victim* of the circular
+application's LLC evictions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import scaled_config, run_workload
+from repro.sim.trace import Workload
+from repro.workloads import build_trace
+
+
+def main() -> None:
+    config = scaled_config("512KB")
+    print(
+        f"CMP: {config.cores} cores, "
+        f"L2 {config.l2.blocks} blocks/core, "
+        f"LLC {config.llc.blocks} blocks "
+        f"({config.llc.banks} banks x {config.llc.ways}-way), "
+        f"sparse directory {config.directory_provisioning:.1f}x"
+    )
+
+    # Half the cores run a circular (MIN-hostile) application, the other
+    # half a small cache-resident one -- the classic inclusion-victim mix.
+    traces = []
+    for core in range(config.cores):
+        app = "bwaves.2" if core % 2 == 0 else "leela.2"
+        traces.append(
+            build_trace(
+                app, 6000, base_addr=(core + 1) << 24, seed=core, name=app
+            )
+        )
+    workload = Workload(traces, name="quickstart-mix")
+
+    print(f"\nworkload: {workload.describe()}\n")
+    header = (
+        f"{'design':24s} {'LLC misses':>10s} {'incl.victims':>12s} "
+        f"{'relocations':>11s} {'cycles':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme, policy in (
+        ("inclusive", "lru"),
+        ("inclusive", "hawkeye"),
+        ("noninclusive", "hawkeye"),
+        ("ziv:mrlikelydead", "hawkeye"),
+    ):
+        result = run_workload(config, workload, scheme, llc_policy=policy)
+        s = result.stats
+        print(
+            f"{scheme + '/' + policy:24s} {s.llc_misses:>10d} "
+            f"{s.inclusion_victims_llc:>12d} {s.relocations:>11d} "
+            f"{result.cycles:>9d}"
+        )
+    print(
+        "\nThe ZIV design reports zero LLC-replacement inclusion victims "
+        "by construction -- the paper's headline guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Prime+probe across the shared LLC: inclusion victims as a side channel.
+
+Reproduces the paper's Section I-A security motivation.  An attacker on
+core 0 primes an LLC set and then probes it; a victim on core 1 performs a
+secret-dependent access in between.  With a baseline inclusive LLC the
+prime back-invalidates the victim's private copy, so the secret access is
+forced through the LLC and the probe observes it: the channel is
+noise-free.  With the ZIV LLC the victim's block is *relocated* instead of
+evicted, its private copy survives, and the attacker learns nothing --
+exactly the isolation a non-inclusive LLC offers, without giving up
+inclusivity.
+
+Run:  python examples/side_channel.py [trials]
+"""
+
+import sys
+
+from repro.params import scaled_config
+from repro.security import prime_probe_experiment
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    config = scaled_config("512KB")
+    print(f"prime+probe campaign: {trials} trials per design\n")
+    print(
+        f"{'design':18s} {'accuracy':>9s} {'signal misses':>14s} "
+        f"{'noise misses':>13s}  verdict"
+    )
+    for scheme in (
+        "inclusive",
+        "qbs",
+        "sharp",
+        "ziv:notinprc",
+        "ziv:mrlikelydead",
+        "noninclusive",
+    ):
+        policy = "hawkeye" if scheme == "ziv:mrlikelydead" else "lru"
+        r = prime_probe_experiment(
+            config, scheme, llc_policy=policy, trials=trials
+        )
+        verdict = "LEAKS" if r.leaks else "blind (guessing)"
+        print(
+            f"{scheme:18s} {r.accuracy:>9.2f} {r.signal_probe_misses:>14d} "
+            f"{r.noise_probe_misses:>13d}  {verdict}"
+        )
+    print(
+        "\naccuracy 1.0 = every secret bit recovered; 0.5 = attacker is "
+        "reduced to coin flips"
+    )
+
+    from repro.security import (
+        evict_reload_experiment,
+        relocation_latency_probe,
+    )
+
+    print("\n-- Evict+Reload (shared-memory variant) --")
+    for scheme in ("inclusive", "ziv:notinprc", "noninclusive"):
+        r = evict_reload_experiment(config, scheme, trials=trials)
+        verdict = "LEAKS" if r.leaks else "blind"
+        print(f"{scheme:18s} accuracy={r.accuracy:.2f}  {verdict}")
+
+    print(
+        "\n-- Relocated-access latency channel (paper III-C1) --\n"
+        "jitter  reloc_mean  normal_mean  distinguisher  channel"
+    )
+    for sigma in (0.0, 1.0, 2.0, 4.0):
+        r = relocation_latency_probe(config, samples=48, jitter_sigma=sigma)
+        state = "OPEN" if r.channel_open else "closed"
+        print(
+            f"{sigma:>6.1f}  {r.relocated_mean:>10.1f}  "
+            f"{r.normal_mean:>11.1f}  {r.distinguisher_accuracy:>13.2f}  "
+            f"{state}"
+        )
+    print(
+        "\nThe 1-3 cycle relocated-access delta is a real signal on a "
+        "noiseless machine but drowns once measurement jitter reaches the "
+        "delta's own magnitude -- the paper's III-C1 argument, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure (plus the ablations) and dump the tables.
+
+Usage:  REPRO_SCALE=standard python scripts/run_all_experiments.py [outfile]
+
+All experiment modules are imported up front so the run is unaffected by
+concurrent edits to the working tree, and simulations are shared across
+figures through the process-wide result cache.
+"""
+
+import importlib
+import os
+import sys
+import time
+
+from repro.experiments import ALL_FIGURES
+
+MODULES = {
+    name: importlib.import_module(f"repro.experiments.{name}")
+    for name in ALL_FIGURES
+}
+ablations = importlib.import_module("repro.experiments.ablations")
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_SCALE", "standard")
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiments_output.txt"
+    t_start = time.time()
+    with open(out_path, "w") as out:
+        def emit(text=""):
+            print(text)
+            out.write(text + "\n")
+            out.flush()
+
+        emit(f"# ZIV reproduction: all figures at scale={scale}")
+        emit()
+        for name in ALL_FIGURES:
+            t0 = time.time()
+            fig = MODULES[name].run(scale)
+            emit(fig.format_table())
+            emit(f"[{name}: {time.time() - t0:.1f}s]")
+            emit()
+        for fn in (
+            ablations.run_property_ladder,
+            ablations.run_round_robin,
+            ablations.run_char_threshold,
+        ):
+            t0 = time.time()
+            fig = fn(scale)
+            emit(fig.format_table())
+            emit(f"[{fn.__name__}: {time.time() - t0:.1f}s]")
+            emit()
+        # Shape-at-a-glance charts for the headline comparisons.
+        from repro.experiments.ascii_chart import bar_chart
+
+        for name, col in (
+            ("fig08_lru_perf", 2),
+            ("fig11_hawkeye_perf", 2),
+        ):
+            emit(bar_chart(MODULES[name].run(scale), value_col=col,
+                           baseline=1.0))
+            emit()
+        emit(f"total: {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Zero Inclusion Victim (ZIV) LLC -- a full reproduction of
+"Zero Inclusion Victim: Isolating Core Caches from Inclusive Last-level
+Cache Evictions" (Mainak Chaudhuri, ISCA 2021).
+
+Quickstart::
+
+    from repro import scaled_config, homogeneous_mix, run_workload
+
+    config = scaled_config("512KB")
+    workload = homogeneous_mix("xalancbmk.2", cores=config.cores)
+    baseline = run_workload(config, workload, "inclusive", llc_policy="lru")
+    ziv = run_workload(config, workload, "ziv:likelydead", llc_policy="lru")
+    print(baseline.stats.inclusion_victims, ziv.stats.inclusion_victims)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.params import (
+    BLOCK_BYTES,
+    CacheGeometry,
+    ConfigError,
+    DirectoryGeometry,
+    DRAMParams,
+    LLCGeometry,
+    SystemConfig,
+    paper_scale_config,
+    scaled_config,
+    scaled_manycore_config,
+)
+from repro.hierarchy import CacheHierarchy
+from repro.schemes import make_scheme
+from repro.core import ZIVScheme
+from repro.sim import Simulation, SimResult, Workload
+from repro.sim.engine import run_workload
+from repro.sim.metrics import geomean, mix_speedup, speedup_summary
+from repro.workloads import (
+    ALL_PROFILE_NAMES,
+    MT_APP_NAMES,
+    build_trace,
+    heterogeneous_mixes,
+    homogeneous_mix,
+    homogeneous_mixes,
+    multithreaded_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLOCK_BYTES",
+    "CacheGeometry",
+    "ConfigError",
+    "DirectoryGeometry",
+    "DRAMParams",
+    "LLCGeometry",
+    "SystemConfig",
+    "scaled_config",
+    "scaled_manycore_config",
+    "paper_scale_config",
+    "CacheHierarchy",
+    "make_scheme",
+    "ZIVScheme",
+    "Simulation",
+    "SimResult",
+    "Workload",
+    "run_workload",
+    "geomean",
+    "mix_speedup",
+    "speedup_summary",
+    "ALL_PROFILE_NAMES",
+    "MT_APP_NAMES",
+    "build_trace",
+    "homogeneous_mix",
+    "homogeneous_mixes",
+    "heterogeneous_mixes",
+    "multithreaded_workload",
+]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                 available schemes, policies, profiles, figures
+``figure <name>``        regenerate one paper figure (e.g. fig08_lru_perf)
+``run``                  run one workload/scheme/policy combination
+``sidechannel``          prime+probe campaign across designs
+``config``               print the scaled and paper-scale configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.core.properties import PROPERTY_LADDERS
+    from repro.experiments import ALL_FIGURES
+    from repro.workloads import ALL_PROFILE_NAMES, MT_APP_NAMES
+
+    print("schemes: inclusive noninclusive qbs sharp charonbase tlh eci")
+    print("         " + " ".join(f"ziv:{p}" for p in sorted(PROPERTY_LADDERS)))
+    print("policies: lru nru random srrip brrip drrip ship hawkeye belady")
+    print("figures:", " ".join(ALL_FIGURES))
+    print("profiles:", " ".join(ALL_PROFILE_NAMES))
+    print("multithreaded:", " ".join(MT_APP_NAMES))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import run_figure
+
+    result = run_figure(args.name, args.scale)
+    result.print_table()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.params import scaled_config
+    from repro.sim.engine import run_workload
+    from repro.workloads import homogeneous_mix, multithreaded_workload
+
+    if args.config:
+        from repro.config_io import load_config
+
+        config = load_config(args.config)
+    else:
+        config = scaled_config(args.l2)
+    if args.workload.startswith("mt:"):
+        wl = multithreaded_workload(
+            args.workload[3:], cores=config.cores, n_accesses=args.accesses
+        )
+    else:
+        wl = homogeneous_mix(
+            args.workload, cores=config.cores, n_accesses=args.accesses
+        )
+    from repro.sim.report import describe_result
+
+    result = run_workload(config, wl, args.scheme, llc_policy=args.policy)
+    print(describe_result(result))
+    return 0
+
+
+def _cmd_sidechannel(args) -> int:
+    from repro.params import scaled_config
+    from repro.security import prime_probe_experiment
+
+    config = scaled_config(args.l2)
+    for scheme in ("inclusive", "qbs", "sharp", "ziv:notinprc",
+                   "noninclusive"):
+        r = prime_probe_experiment(config, scheme, trials=args.trials)
+        verdict = "LEAKS" if r.leaks else "blind"
+        print(f"{scheme:14s} accuracy={r.accuracy:.2f}  {verdict}")
+    return 0
+
+
+def _cmd_config(_args) -> int:
+    from repro.experiments.table1 import run
+
+    run().print_table()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zero Inclusion Victim LLC reproduction (ISCA 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list schemes/policies/profiles/figures")
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("name")
+    p.add_argument("--scale", default=None,
+                   choices=("smoke", "quick", "standard", "full"))
+
+    p = sub.add_parser("run", help="run one simulation")
+    p.add_argument("--workload", default="xalancbmk.2",
+                   help="profile name, or mt:<app> for multi-threaded")
+    p.add_argument("--scheme", default="ziv:likelydead")
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--l2", default="512KB",
+                   choices=("256KB", "512KB", "768KB", "1MB"))
+    p.add_argument("--accesses", type=int, default=4000)
+    p.add_argument("--config", default=None, metavar="FILE.json",
+                   help="machine description (see repro.config_io)")
+
+    p = sub.add_parser("sidechannel", help="prime+probe campaign")
+    p.add_argument("--trials", type=int, default=48)
+    p.add_argument("--l2", default="512KB")
+
+    sub.add_parser("config", help="print Table I (paper vs scaled)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "sidechannel": _cmd_sidechannel,
+        "config": _cmd_config,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Generic set-associative cache substrate."""
+
+from repro.cache.block import CacheBlock, DirectoryEntry
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+
+__all__ = [
+    "AccessContext",
+    "CacheBlock",
+    "DirectoryEntry",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,164 @@
+"""Cache block and sparse-directory entry state.
+
+A single block class serves every array in the hierarchy (L1, L2, LLC);
+the LLC-only fields (``relocated``, ``not_in_prc``, ``likely_dead``,
+``char_tag``) stay at their defaults in private caches, and the private-only
+CHAR bookkeeping fields (``fill_hit``, ``demand_reuses``) stay at their
+defaults in the LLC.  This costs a few bytes per block and buys a much
+simpler substrate.
+"""
+
+from __future__ import annotations
+
+
+class CacheBlock:
+    """One cache line's worth of state (tag + status bits + policy state)."""
+
+    __slots__ = (
+        "addr",
+        "valid",
+        "dirty",
+        # --- ZIV / inclusive-LLC state (paper III-C, III-D) ---
+        "relocated",
+        "not_in_prc",
+        "likely_dead",
+        "char_tag",
+        # --- replacement-policy state ---
+        "stamp",  # LRU timestamp
+        "rrpv",  # RRIP/Hawkeye re-reference prediction value
+        "nru",  # NRU reference bit
+        "last_pc",  # Hawkeye: PC of the last access (for detraining)
+        "friendly",  # Hawkeye: cache-friendly prediction at last touch
+        # --- private-cache CHAR bookkeeping (paper III-D6) ---
+        "fill_hit",  # filled into the private cache via an LLC hit?
+        "demand_reuses",  # demand reuse count while in the L2
+        "prefetched",  # brought in by the prefetcher, not yet demanded
+    )
+
+    def __init__(self) -> None:
+        self.addr = -1
+        self.valid = False
+        self.dirty = False
+        self.relocated = False
+        self.not_in_prc = False
+        self.likely_dead = False
+        self.char_tag = None  # (core, group) set at L2-eviction time
+        self.stamp = 0
+        self.rrpv = 0
+        self.nru = False
+        self.last_pc = 0
+        self.friendly = True
+        self.fill_hit = False
+        self.demand_reuses = 0
+        self.prefetched = False
+
+    def reset(self) -> None:
+        """Return the block to the invalid state, clearing every bit."""
+        self.addr = -1
+        self.valid = False
+        self.dirty = False
+        self.relocated = False
+        self.not_in_prc = False
+        self.likely_dead = False
+        self.char_tag = None
+        self.stamp = 0
+        self.rrpv = 0
+        self.nru = False
+        self.last_pc = 0
+        self.friendly = True
+        self.fill_hit = False
+        self.demand_reuses = 0
+        self.prefetched = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            ch
+            for ch, on in (
+                ("V", self.valid),
+                ("D", self.dirty),
+                ("R", self.relocated),
+                ("N", self.not_in_prc),
+                ("L", self.likely_dead),
+            )
+            if on
+        )
+        return f"<Block {self.addr:#x} {flags or '-'} rrpv={self.rrpv}>"
+
+
+class DirectoryEntry:
+    """One sparse-directory entry (paper III-A, III-C).
+
+    Tracks one privately cached block: a sharer bitvector, the owning core
+    when the block is in the M state, the NRU replacement bit, and -- the
+    ZIV extension -- the ``Relocated`` state plus the ``<bank, set, way>``
+    location of the relocated LLC copy.
+    """
+
+    __slots__ = (
+        "addr",
+        "valid",
+        "sharers",
+        "owner",
+        "nru",
+        "relocated",
+        "reloc_bank",
+        "reloc_set",
+        "reloc_way",
+    )
+
+    def __init__(self) -> None:
+        self.addr = -1
+        self.valid = False
+        self.sharers = 0  # bitmask over cores
+        self.owner = -1  # core holding the M copy, -1 if none
+        self.nru = False
+        self.relocated = False
+        self.reloc_bank = -1
+        self.reloc_set = -1
+        self.reloc_way = -1
+
+    def reset(self) -> None:
+        self.addr = -1
+        self.valid = False
+        self.sharers = 0
+        self.owner = -1
+        self.nru = False
+        self.relocated = False
+        self.reloc_bank = -1
+        self.reloc_set = -1
+        self.reloc_way = -1
+
+    @property
+    def sharer_count(self) -> int:
+        return bin(self.sharers).count("1")
+
+    def has_sharer(self, core: int) -> bool:
+        return bool(self.sharers >> core & 1)
+
+    def add_sharer(self, core: int) -> None:
+        self.sharers |= 1 << core
+
+    def remove_sharer(self, core: int) -> None:
+        self.sharers &= ~(1 << core)
+        if self.owner == core:
+            self.owner = -1
+
+    def set_relocation(self, bank: int, set_idx: int, way: int) -> None:
+        self.relocated = True
+        self.reloc_bank = bank
+        self.reloc_set = set_idx
+        self.reloc_way = way
+
+    def clear_relocation(self) -> None:
+        self.relocated = False
+        self.reloc_bank = -1
+        self.reloc_set = -1
+        self.reloc_way = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        r = (
+            f" reloc=({self.reloc_bank},{self.reloc_set},{self.reloc_way})"
+            if self.relocated
+            else ""
+        )
+        return f"<DirEntry {self.addr:#x} sharers={self.sharers:b}{r}>"

@@ -1,0 +1,74 @@
+"""Replacement-policy strategy interface."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.block import CacheBlock
+
+
+class ReplacementPolicy:
+    """Strategy object deciding victims within a cache set.
+
+    A policy instance is bound to exactly one cache via :meth:`attach`.
+    The cache guarantees that :meth:`victim` / :meth:`ranked_victims` are
+    only consulted when the set has no invalid way (the Invalid-first rule
+    lives in the cache).
+    """
+
+    #: The maximum RRPV value used by RRPV-based policies (3-bit, paper
+    #: III-D: Hawkeye distinguishes cache-averse blocks by RRPV == 7).
+    max_rrpv = 7
+
+    def __init__(self) -> None:
+        self.cache = None
+
+    def attach(self, cache) -> None:
+        if self.cache is not None:
+            raise RuntimeError("policy already attached to a cache")
+        self.cache = cache
+
+    # -- event hooks ---------------------------------------------------------
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        raise NotImplementedError
+
+    def on_evict(self, set_idx: int, way: int, ctx) -> None:
+        """Called just before a block leaves the cache (default: no-op)."""
+
+    # -- victim selection -----------------------------------------------------
+
+    def victim(self, set_idx: int, ctx) -> int:
+        for way in self.ranked_victims(set_idx, ctx):
+            return way
+        raise LookupError(f"set {set_idx} has no valid block to victimise")
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        """Valid ways ordered from most- to least-preferred victim.
+
+        QBS and SHARP walk this order when skipping privately cached
+        candidates; the ZIV relocation-set policies use it to honour the
+        baseline policy's ordering."""
+        raise NotImplementedError
+
+    def promote(self, set_idx: int, way: int, ctx) -> None:
+        """Make the block the least-preferred victim (QBS move-to-MRU)."""
+        self.on_hit(set_idx, way, ctx)
+
+    def on_relocation_fill(self, set_idx: int, way: int, ctx) -> None:
+        """A relocated block entered (set, way).  Defaults to a normal
+        fill; policies with learning side effects override this to update
+        replacement state without training (see Hawkeye)."""
+        self.on_fill(set_idx, way, ctx)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _valid_ways(self, set_idx: int) -> list[tuple[int, CacheBlock]]:
+        return [
+            (way, blk)
+            for way, blk in enumerate(self.cache.blocks[set_idx])
+            if blk.valid
+        ]

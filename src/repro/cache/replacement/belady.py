@@ -1,0 +1,80 @@
+"""Offline Belady MIN replacement.
+
+The paper's Fig. 2 motivation study runs the LLC under an offline MIN
+policy whose oracle is the *global* L1 access stream (footnote 2): the LLC
+victim is the resident block whose next access in that stream lies furthest
+in the future.  We build the oracle from the canonical lock-step
+interleaving of the per-core traces (see :mod:`repro.sim.engine`), so the
+oracle is well defined and independent of timing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+INFINITE = 1 << 62
+
+
+class NextUseOracle:
+    """Answers "when is ``addr`` next accessed after stream position ``pos``?"."""
+
+    def __init__(self, stream: Iterable[int]) -> None:
+        positions: dict[int, list[int]] = {}
+        n = 0
+        for pos, addr in enumerate(stream):
+            positions.setdefault(addr, []).append(pos)
+            n = pos + 1
+        self._positions = positions
+        self.length = n
+
+    def next_use(self, addr: int, pos: int) -> int:
+        """Position of the first access to ``addr`` strictly after ``pos``
+        (``INFINITE`` if never accessed again)."""
+        plist = self._positions.get(addr)
+        if not plist:
+            return INFINITE
+        i = bisect.bisect_right(plist, pos)
+        if i == len(plist):
+            return INFINITE
+        return plist[i]
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """MIN: victimise the block with the furthest next use.
+
+    Requires the access context's ``global_pos`` to be the current position
+    in the oracle's stream (the engine's lock-step scheduling mode provides
+    this)."""
+
+    def __init__(self, oracle: NextUseOracle) -> None:
+        super().__init__()
+        self.oracle = oracle
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].stamp = ctx.global_pos
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].stamp = ctx.global_pos
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        pos = ctx.global_pos
+        ranked = sorted(
+            self._valid_ways(set_idx),
+            key=lambda wb: -self.oracle.next_use(wb[1].addr, pos),
+        )
+        for way, _blk in ranked:
+            yield way
+
+    def victim(self, set_idx: int, ctx) -> int:
+        pos = ctx.global_pos
+        best_way, best_next = -1, -1
+        for way, blk in self._valid_ways(set_idx):
+            nxt = self.oracle.next_use(blk.addr, pos)
+            if nxt > best_next:
+                best_way, best_next = way, nxt
+        if best_way < 0:
+            raise LookupError(f"set {set_idx} has no valid block to victimise")
+        return best_way

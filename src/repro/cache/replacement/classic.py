@@ -1,0 +1,140 @@
+"""Classic replacement policies: FIFO, Tree-PLRU, LIP and BIP.
+
+None of these appear in the paper's evaluation, but they round out the
+substrate a cache-architecture library is expected to ship (and they make
+cheap sanity baselines: e.g. ZIV's guarantee must hold under *any*
+baseline policy, which the test suite exercises through this family).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: the stamp is set at fill and never refreshed."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self._clock += 1
+        self.cache.blocks[set_idx][way].stamp = self._clock
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        pass  # hits do not refresh residence order
+
+    def promote(self, set_idx: int, way: int, ctx) -> None:
+        # QBS-style protection still needs to move the block back.
+        self._clock += 1
+        self.cache.blocks[set_idx][way].stamp = self._clock
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        ranked = sorted(self._valid_ways(set_idx), key=lambda wb: wb[1].stamp)
+        for way, _blk in ranked:
+            yield way
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over power-of-two associativities.
+
+    One bit per internal node of a binary tree; a hit flips the path bits
+    away from the accessed way, the victim walk follows the bits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trees: dict[int, list[int]] = {}
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        ways = cache.ways
+        if ways & (ways - 1):
+            raise ValueError("tree PLRU needs a power-of-two associativity")
+
+    def _tree(self, set_idx: int) -> list[int]:
+        tree = self._trees.get(set_idx)
+        if tree is None:
+            tree = [0] * max(1, self.cache.ways - 1)
+            self._trees[set_idx] = tree
+        return tree
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        tree = self._tree(set_idx)
+        ways = self.cache.ways
+        node = 0
+        span = ways
+        while span > 1:
+            span //= 2
+            go_right = way % (span * 2) >= span
+            tree[node] = 0 if go_right else 1  # point away from the way
+            node = 2 * node + (2 if go_right else 1)
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self._touch(set_idx, way)
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self._touch(set_idx, way)
+
+    def victim(self, set_idx: int, ctx) -> int:
+        tree = self._tree(set_idx)
+        ways = self.cache.ways
+        node = 0
+        way = 0
+        span = ways
+        while span > 1:
+            span //= 2
+            if tree[node]:
+                way += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        blk = self.cache.blocks[set_idx][way]
+        if blk.valid:
+            return way
+        # The PLRU walk can land on an invalid way (the cache fills those
+        # first anyway); fall back to any valid way.
+        for w, b in enumerate(self.cache.blocks[set_idx]):
+            if b.valid:
+                return w
+        raise LookupError(f"set {set_idx} has no valid block to victimise")
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        first = self.victim(set_idx, ctx)
+        yield first
+        for way, _blk in self._valid_ways(set_idx):
+            if way != first:
+                yield way
+
+
+class LIPPolicy(LRUPolicy):
+    """LRU insertion policy: fills enter at the LRU position, hits promote
+    to MRU (Qureshi et al.)."""
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        # Insert *below* every current stamp: the block is the next victim
+        # unless it earns a hit first.
+        valid = self._valid_ways(set_idx)
+        floor = min(
+            (blk.stamp for w, blk in valid if w != way), default=0
+        )
+        self.cache.blocks[set_idx][way].stamp = floor - 1
+
+
+class BIPPolicy(LIPPolicy):
+    """Bimodal insertion: mostly LIP, occasionally MRU."""
+
+    def __init__(self, mru_prob: float = 1 / 32, seed: int = 0xB1B) -> None:
+        super().__init__()
+        self.mru_prob = mru_prob
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        if self._rng.random() < self.mru_prob:
+            LRUPolicy.on_fill(self, set_idx, way, ctx)
+        else:
+            LIPPolicy.on_fill(self, set_idx, way, ctx)

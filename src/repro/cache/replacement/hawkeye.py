@@ -1,0 +1,204 @@
+"""Hawkeye replacement (Jain & Lin, ISCA 2016).
+
+Hawkeye learns from Belady's MIN at run time: a set sampler replays the
+access stream of sampled sets through OPTgen (an occupancy-vector model of
+MIN) and trains a PC-indexed predictor that classifies blocks as
+*cache-friendly* (inserted with RRPV 0) or *cache-averse* (RRPV 7).  The
+paper's ``MaxRRPVNotInPrC`` relocation property keys off the RRPV == 7
+blocks this policy produces.
+
+The predictor (and optionally the sampler) can be shared across the per-bank
+policy instances of a banked LLC via :class:`HawkeyePredictor`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+def _hash_pc(pc: int, mask: int) -> int:
+    return ((pc * 0x9E3779B1) >> 13) & mask
+
+
+class HawkeyePredictor:
+    """PC-indexed table of 3-bit saturating counters."""
+
+    def __init__(self, entries: int = 2048, counter_bits: int = 3) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.mask = entries - 1
+        self.max_value = (1 << counter_bits) - 1
+        self.threshold = (self.max_value + 1) // 2
+        self.table = [self.threshold] * entries
+
+    def train(self, pc: int, opt_hit: bool) -> None:
+        idx = _hash_pc(pc, self.mask)
+        if opt_hit:
+            if self.table[idx] < self.max_value:
+                self.table[idx] += 1
+        elif self.table[idx] > 0:
+            self.table[idx] -= 1
+
+    def detrain(self, pc: int) -> None:
+        idx = _hash_pc(pc, self.mask)
+        if self.table[idx] > 0:
+            self.table[idx] -= 1
+
+    def is_friendly(self, pc: int) -> bool:
+        return self.table[_hash_pc(pc, self.mask)] >= self.threshold
+
+
+class _SampledSet:
+    """OPTgen state for one sampled set.
+
+    Time advances by one per access to the set.  ``occ[t]`` counts how many
+    OPT-cached liveness intervals cover quantum ``t``; an interval
+    ``[prev, now)`` is an OPT hit iff every quantum it covers has occupancy
+    below the cache capacity (the set associativity).
+    """
+
+    __slots__ = ("last", "occ", "base", "clock", "window")
+
+    def __init__(self, window: int) -> None:
+        self.last = {}  # addr -> (time, pc)
+        self.occ = []
+        self.base = 0
+        self.clock = 0
+        self.window = window
+
+    def _compact(self) -> None:
+        cutoff = self.clock - self.window
+        if cutoff <= self.base:
+            return
+        drop = cutoff - self.base
+        del self.occ[:drop]
+        self.base = cutoff
+        stale = [a for a, (t, _pc) in self.last.items() if t < cutoff]
+        for a in stale:
+            del self.last[a]
+
+    def access(self, addr: int, pc: int, capacity: int) -> Optional[tuple[int, bool]]:
+        """Record an access; returns (training_pc, opt_hit) or None.
+
+        ``None`` means the address has no previous access in the window, so
+        OPTgen has nothing to decide (a compulsory miss)."""
+        now = self.clock
+        result = None
+        prev = self.last.get(addr)
+        if prev is not None:
+            prev_t, prev_pc = prev
+            lo = prev_t - self.base
+            hi = now - self.base
+            interval = self.occ[lo:hi]
+            if interval and all(o < capacity for o in interval):
+                for i in range(lo, hi):
+                    self.occ[i] += 1
+                result = (prev_pc, True)
+            elif not interval:
+                # Same-quantum re-access: trivially an OPT hit.
+                result = (prev_pc, True)
+            else:
+                result = (prev_pc, False)
+        self.last[addr] = (now, pc)
+        self.occ.append(0)
+        self.clock += 1
+        if len(self.occ) > 2 * self.window:
+            self._compact()
+        return result
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """Hawkeye: OPT-trained insertion with RRIP-style victim selection."""
+
+    def __init__(
+        self,
+        rrpv_bits: int = 3,
+        sample_every: int = 4,
+        window_factor: int = 8,
+        predictor: Optional[HawkeyePredictor] = None,
+        predictor_entries: int = 2048,
+    ) -> None:
+        super().__init__()
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self.sample_every = max(1, sample_every)
+        self.window_factor = window_factor
+        self.predictor = predictor or HawkeyePredictor(predictor_entries)
+        self._samples = {}  # set_idx -> _SampledSet
+
+    # -- sampler ---------------------------------------------------------------
+
+    def _sampled(self, set_idx: int) -> Optional[_SampledSet]:
+        if set_idx % self.sample_every:
+            return None
+        state = self._samples.get(set_idx)
+        if state is None:
+            state = _SampledSet(window=self.window_factor * self.cache.ways)
+            self._samples[set_idx] = state
+        return state
+
+    def _observe(self, set_idx: int, addr: int, pc: int) -> None:
+        state = self._sampled(set_idx)
+        if state is None:
+            return
+        outcome = state.access(addr, pc, self.cache.ways)
+        if outcome is not None:
+            train_pc, opt_hit = outcome
+            self.predictor.train(train_pc, opt_hit)
+
+    # -- policy hooks ------------------------------------------------------------
+
+    def _apply_prediction(self, set_idx: int, way: int, pc: int,
+                          is_fill: bool) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        friendly = self.predictor.is_friendly(pc)
+        blk.friendly = friendly
+        blk.last_pc = pc
+        if friendly:
+            blk.rrpv = 0
+            if is_fill:
+                # Age the other non-averse lines so older friendly blocks
+                # become better victims than fresh ones.
+                for other_way, other in enumerate(self.cache.blocks[set_idx]):
+                    if (other_way != way and other.valid
+                            and other.rrpv < self.max_rrpv - 1):
+                        other.rrpv += 1
+        else:
+            blk.rrpv = self.max_rrpv
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        self._observe(set_idx, blk.addr, ctx.pc)
+        self._apply_prediction(set_idx, way, ctx.pc, is_fill=True)
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        self._observe(set_idx, blk.addr, ctx.pc)
+        self._apply_prediction(set_idx, way, ctx.pc, is_fill=False)
+
+    def on_evict(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        if blk.friendly:
+            # A friendly block evicted before reuse: the load that inserted
+            # it was over-trusted.
+            self.predictor.detrain(blk.last_pc)
+
+    def promote(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].rrpv = 0
+
+    def on_relocation_fill(self, set_idx: int, way: int, ctx) -> None:
+        """Relocated blocks enter with the predictor's opinion of their
+        last load PC, but without a sampler observation (the relocation is
+        not a program access) and without aging the set."""
+        blk = self.cache.blocks[set_idx][way]
+        friendly = self.predictor.is_friendly(blk.last_pc)
+        blk.friendly = friendly
+        blk.rrpv = 0 if friendly else self.max_rrpv
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        ranked = sorted(
+            self._valid_ways(set_idx), key=lambda wb: (-wb[1].rrpv, wb[0])
+        )
+        for way, _blk in ranked:
+            yield way

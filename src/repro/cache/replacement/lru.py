@@ -1,0 +1,54 @@
+"""True LRU via monotone timestamps."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement.
+
+    Each block carries a ``stamp``; the policy keeps a single monotone
+    counter, so the LRU block of a set is the valid block with the minimum
+    stamp.  This representation makes the paper's ``LRUNotInPrC`` property
+    ("the block in the LRU position is not privately cached") a one-scan
+    query (see :mod:`repro.core.properties`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].stamp = self._tick()
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].stamp = self._tick()
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        ranked = sorted(self._valid_ways(set_idx), key=lambda wb: wb[1].stamp)
+        for way, _blk in ranked:
+            yield way
+
+    def victim(self, set_idx: int, ctx) -> int:
+        best_way, best_stamp = -1, None
+        for way, blk in self._valid_ways(set_idx):
+            if best_stamp is None or blk.stamp < best_stamp:
+                best_way, best_stamp = way, blk.stamp
+        if best_way < 0:
+            raise LookupError(f"set {set_idx} has no valid block to victimise")
+        return best_way
+
+    def lru_block_way(self, set_idx: int) -> int:
+        """Way of the block currently in the LRU position (-1 if empty)."""
+        best_way, best_stamp = -1, None
+        for way, blk in self._valid_ways(set_idx):
+            if best_stamp is None or blk.stamp < best_stamp:
+                best_way, best_stamp = way, blk.stamp
+        return best_way

@@ -1,0 +1,37 @@
+"""1-bit not-recently-used replacement (used by the sparse directory)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class NRUPolicy(ReplacementPolicy):
+    """Classic 1-bit NRU.
+
+    The reference bit is set on fill and hit.  A victim is the lowest way
+    whose bit is clear; when every valid block has its bit set, all bits
+    (except, implicitly, the imminent victim's) are cleared first.
+    """
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].nru = True
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].nru = True
+
+    def _maybe_reset(self, set_idx: int) -> None:
+        valid = self._valid_ways(set_idx)
+        if valid and all(blk.nru for _w, blk in valid):
+            for _w, blk in valid:
+                blk.nru = False
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        self._maybe_reset(set_idx)
+        not_recent = []
+        recent = []
+        for way, blk in self._valid_ways(set_idx):
+            (recent if blk.nru else not_recent).append(way)
+        yield from not_recent
+        yield from recent

@@ -1,0 +1,27 @@
+"""Seeded pseudo-random replacement (SHARP's step-3 fallback)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection with a deterministic seed."""
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:  # noqa: D401
+        pass
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        pass
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        ways = [way for way, _blk in self._valid_ways(set_idx)]
+        self._rng.shuffle(ways)
+        yield from ways

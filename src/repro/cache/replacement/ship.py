@@ -1,0 +1,87 @@
+"""SHiP: Signature-based Hit Predictor replacement (Wu et al., MICRO 2011).
+
+Referenced by the paper ([59]) as another RRPV-graded policy the
+``MaxRRPVNotInPrC`` relocation property composes with.  Each fill is
+signed by a hash of its PC; a table of saturating counters learns whether
+fills from that signature get re-referenced.  Predicted-dead fills insert
+at the maximum RRPV (immediately evictable), others at max-1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.replacement.srrip import SRRIPPolicy
+
+
+def _sign(pc: int, mask: int) -> int:
+    return ((pc * 0x85EBCA6B) >> 11) & mask
+
+
+class SHiPPolicy(SRRIPPolicy):
+    """SHiP-PC on a 3-bit RRPV substrate.
+
+    Per-block state reuses ``last_pc`` (the signature source) and
+    ``friendly`` (the "was re-referenced" outcome bit)."""
+
+    def __init__(
+        self,
+        rrpv_bits: int = 3,
+        shct_entries: int = 2048,
+        counter_bits: int = 2,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        if shct_entries <= 0 or shct_entries & (shct_entries - 1):
+            raise ValueError("shct_entries must be a power of two")
+        self.mask = shct_entries - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.shct = [self.counter_max // 2 + 1] * shct_entries
+
+    # -- SHCT -----------------------------------------------------------------
+
+    def _predicts_reuse(self, pc: int) -> bool:
+        return self.shct[_sign(pc, self.mask)] > 0
+
+    def _train_reused(self, pc: int) -> None:
+        idx = _sign(pc, self.mask)
+        if self.shct[idx] < self.counter_max:
+            self.shct[idx] += 1
+
+    def _train_dead(self, pc: int) -> None:
+        idx = _sign(pc, self.mask)
+        if self.shct[idx] > 0:
+            self.shct[idx] -= 1
+
+    # -- policy hooks -----------------------------------------------------------
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        blk.last_pc = ctx.pc
+        blk.friendly = False  # "re-referenced" outcome bit, not yet earned
+        if self._predicts_reuse(ctx.pc):
+            blk.rrpv = self.max_rrpv - 1
+        else:
+            blk.rrpv = self.max_rrpv
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        if not blk.friendly:
+            blk.friendly = True
+            self._train_reused(blk.last_pc)
+        blk.rrpv = 0
+
+    def on_evict(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        if not blk.friendly:
+            self._train_dead(blk.last_pc)
+
+    def on_relocation_fill(self, set_idx: int, way: int, ctx) -> None:
+        blk = self.cache.blocks[set_idx][way]
+        blk.rrpv = (
+            self.max_rrpv - 1
+            if self._predicts_reuse(blk.last_pc)
+            else self.max_rrpv
+        )
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        return super().ranked_victims(set_idx, ctx)

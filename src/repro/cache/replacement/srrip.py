@@ -1,0 +1,117 @@
+"""RRIP-family policies: SRRIP, BRRIP, and set-dueling DRRIP.
+
+These use the same 3-bit RRPV substrate as Hawkeye (Jaleel et al., ISCA
+2010).  They are not headline configurations in the paper but serve as
+ablation baselines and exercise the ``MaxRRPVNotInPrC`` property with a
+non-Hawkeye policy (the paper notes the property "can also be used with
+other LLC replacement policies that employ RRPVs", III-D).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP: insert at max_rrpv - 1, promote to 0 on hit."""
+
+    def __init__(self, rrpv_bits: int = 3) -> None:
+        super().__init__()
+        self.max_rrpv = (1 << rrpv_bits) - 1
+
+    def insertion_rrpv(self, set_idx: int, ctx) -> int:
+        return self.max_rrpv - 1
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].rrpv = self.insertion_rrpv(set_idx, ctx)
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].rrpv = 0
+
+    def promote(self, set_idx: int, way: int, ctx) -> None:
+        self.cache.blocks[set_idx][way].rrpv = 0
+
+    def _age_until_max(self, set_idx: int) -> None:
+        valid = self._valid_ways(set_idx)
+        current_max = max(blk.rrpv for _w, blk in valid)
+        delta = self.max_rrpv - current_max
+        if delta > 0:
+            for _w, blk in valid:
+                blk.rrpv += delta
+
+    def victim(self, set_idx: int, ctx) -> int:
+        valid = self._valid_ways(set_idx)
+        if not valid:
+            raise LookupError(f"set {set_idx} has no valid block to victimise")
+        self._age_until_max(set_idx)
+        for way, blk in self._valid_ways(set_idx):
+            if blk.rrpv >= self.max_rrpv:
+                return way
+        raise AssertionError("aging must expose a max-RRPV block")
+
+    def ranked_victims(self, set_idx: int, ctx) -> Iterator[int]:
+        ranked = sorted(
+            self._valid_ways(set_idx), key=lambda wb: (-wb[1].rrpv, wb[0])
+        )
+        for way, _blk in ranked:
+            yield way
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: insert at max_rrpv most of the time."""
+
+    def __init__(self, rrpv_bits: int = 3, long_prob: float = 1 / 32,
+                 seed: int = 0xBEEF) -> None:
+        super().__init__(rrpv_bits)
+        self.long_prob = long_prob
+        self._rng = random.Random(seed)
+
+    def insertion_rrpv(self, set_idx: int, ctx) -> int:
+        if self._rng.random() < self.long_prob:
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """Dynamic RRIP with set dueling between SRRIP and BRRIP insertion."""
+
+    def __init__(self, rrpv_bits: int = 3, dueling_sets: int = 4,
+                 psel_bits: int = 10, seed: int = 0xBEEF) -> None:
+        super().__init__(rrpv_bits)
+        self.dueling_sets = dueling_sets
+        self._psel_max = (1 << psel_bits) - 1
+        self._psel = self._psel_max // 2
+        self._rng = random.Random(seed)
+        self.long_prob = 1 / 32
+
+    def _leader(self, set_idx: int) -> str:
+        """'srrip' leader, 'brrip' leader, or 'follower'."""
+        period = max(2, self.cache.sets // self.dueling_sets)
+        phase = set_idx % period
+        if phase == 0:
+            return "srrip"
+        if phase == period // 2:
+            return "brrip"
+        return "follower"
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        kind = self._leader(set_idx)
+        if kind == "srrip":
+            rrpv = self.max_rrpv - 1
+            self._psel = min(self._psel_max, self._psel + 1)
+        elif kind == "brrip":
+            rrpv = (self.max_rrpv - 1
+                    if self._rng.random() < self.long_prob else self.max_rrpv)
+            self._psel = max(0, self._psel - 1)
+        else:
+            use_srrip = self._psel >= self._psel_max // 2
+            if use_srrip:
+                rrpv = self.max_rrpv - 1
+            else:
+                rrpv = (self.max_rrpv - 1
+                        if self._rng.random() < self.long_prob
+                        else self.max_rrpv)
+        self.cache.blocks[set_idx][way].rrpv = rrpv

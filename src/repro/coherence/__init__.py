@@ -1,0 +1,5 @@
+"""Directory-based coherence substrate (sparse directory, paper III-A/III-F)."""
+
+from repro.coherence.sparse_directory import SparseDirectory
+
+__all__ = ["SparseDirectory"]

@@ -1,0 +1,183 @@
+"""Sliced sparse coherence directory.
+
+The paper's baseline keeps the coherence directory decoupled from the LLC
+as a *sparse directory* (III-A): a tagged set-associative structure, one
+slice per LLC bank, sized to 2x the aggregate private L2 tags, with 1-bit
+NRU replacement.  Private-cache evictions are always notified so the
+directory is exact: an entry exists iff the block is privately cached.
+
+The ZIV design extends each entry with a ``Relocated`` state and the
+``<bank, set, way>`` of the relocated LLC copy (III-C).
+
+Two modes:
+
+* ``"mesi"`` -- bounded slices; allocating into a full set evicts the NRU
+  victim, whose privately cached copies must be back-invalidated by the
+  caller (these are the *directory-eviction* inclusion victims of Fig. 15).
+* ``"zerodev"`` -- models the ZeroDEV protocol (Chaudhuri, HPCA 2021):
+  instead of evicting, the victim entry spills into the LLC.  We model the
+  spill as an unbounded side table; the performance-relevant effect -- no
+  back-invalidations from directory evictions -- is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cache.block import DirectoryEntry
+from repro.params import DirectoryGeometry, LLCGeometry
+
+
+class DirectorySlice:
+    """One set-associative directory slice with NRU replacement."""
+
+    def __init__(self, geometry: DirectoryGeometry, name: str) -> None:
+        self.geometry = geometry
+        self.name = name
+        self.sets = [
+            [DirectoryEntry() for _ in range(geometry.ways)]
+            for _ in range(geometry.sets)
+        ]
+        self.index = [dict() for _ in range(geometry.sets)]  # addr -> way
+
+    def _set_of(self, addr: int, banks: int) -> int:
+        return self.geometry.set_index(addr, banks)
+
+    def lookup(self, addr: int, banks: int) -> Optional[DirectoryEntry]:
+        set_idx = self._set_of(addr, banks)
+        way = self.index[set_idx].get(addr, -1)
+        if way < 0:
+            return None
+        entry = self.sets[set_idx][way]
+        entry.nru = True
+        return entry
+
+    def free(self, addr: int, banks: int) -> None:
+        set_idx = self._set_of(addr, banks)
+        way = self.index[set_idx].pop(addr)
+        self.sets[set_idx][way].reset()
+
+    def _nru_victim(self, set_idx: int) -> int:
+        entries = self.sets[set_idx]
+        if all(e.nru for e in entries):
+            for e in entries:
+                e.nru = False
+        for way, e in enumerate(entries):
+            if not e.nru:
+                return way
+        return 0
+
+    def allocate(
+        self, addr: int, banks: int
+    ) -> tuple[DirectoryEntry, Optional[DirectoryEntry]]:
+        """Allocate an entry for ``addr``.
+
+        Returns (new entry, displaced entry or None).  The displaced entry
+        is a *copy* whose state the caller must act on (back-invalidation
+        or ZeroDEV spill); the underlying storage is reused immediately.
+        """
+        set_idx = self._set_of(addr, banks)
+        if addr in self.index[set_idx]:
+            raise LookupError(f"{self.name}: {addr:#x} already tracked")
+        victim_copy: Optional[DirectoryEntry] = None
+        way = next(
+            (w for w, e in enumerate(self.sets[set_idx]) if not e.valid), -1
+        )
+        if way < 0:
+            way = self._nru_victim(set_idx)
+            old = self.sets[set_idx][way]
+            victim_copy = DirectoryEntry()
+            victim_copy.addr = old.addr
+            victim_copy.valid = True
+            victim_copy.sharers = old.sharers
+            victim_copy.owner = old.owner
+            victim_copy.relocated = old.relocated
+            victim_copy.reloc_bank = old.reloc_bank
+            victim_copy.reloc_set = old.reloc_set
+            victim_copy.reloc_way = old.reloc_way
+            del self.index[set_idx][old.addr]
+            old.reset()
+        entry = self.sets[set_idx][way]
+        entry.reset()
+        entry.addr = addr
+        entry.valid = True
+        entry.nru = True
+        self.index[set_idx][addr] = way
+        return entry, victim_copy
+
+    def iter_valid(self) -> Iterator[DirectoryEntry]:
+        for entries in self.sets:
+            for e in entries:
+                if e.valid:
+                    yield e
+
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.iter_valid())
+
+
+class SparseDirectory:
+    """The full directory: one slice per LLC bank, plus the ZeroDEV spill."""
+
+    def __init__(
+        self,
+        geometry: DirectoryGeometry,
+        llc_geometry: LLCGeometry,
+        mode: str = "mesi",
+    ) -> None:
+        if mode not in ("mesi", "zerodev"):
+            raise ValueError(f"unknown directory mode {mode!r}")
+        self.geometry = geometry
+        self.llc_geometry = llc_geometry
+        self.mode = mode
+        self.slices = [
+            DirectorySlice(geometry, name=f"dir[{b}]")
+            for b in range(llc_geometry.banks)
+        ]
+        self.spill: dict[int, DirectoryEntry] = {}
+        self.spill_count = 0
+
+    def _slice_of(self, addr: int) -> DirectorySlice:
+        return self.slices[self.llc_geometry.bank_index(addr)]
+
+    def lookup(self, addr: int) -> Optional[DirectoryEntry]:
+        entry = self._slice_of(addr).lookup(addr, self.llc_geometry.banks)
+        if entry is None and self.mode == "zerodev":
+            return self.spill.get(addr)
+        return entry
+
+    def allocate(
+        self, addr: int
+    ) -> tuple[DirectoryEntry, Optional[DirectoryEntry]]:
+        """Allocate a tracking entry for ``addr``.
+
+        In ``zerodev`` mode the displaced entry (if any) moves into the
+        spill table and ``None`` is returned as the displaced entry, since
+        the caller need not back-invalidate anything."""
+        if self.mode == "zerodev" and addr in self.spill:
+            raise LookupError(f"{addr:#x} already tracked (spilled)")
+        entry, displaced = self._slice_of(addr).allocate(
+            addr, self.llc_geometry.banks
+        )
+        if displaced is not None and self.mode == "zerodev":
+            self.spill[displaced.addr] = displaced
+            self.spill_count += 1
+            displaced = None
+        return entry, displaced
+
+    def free(self, addr: int) -> None:
+        if self.mode == "zerodev" and addr in self.spill:
+            del self.spill[addr]
+            return
+        self._slice_of(addr).free(addr, self.llc_geometry.banks)
+
+    def iter_valid(self) -> Iterator[DirectoryEntry]:
+        for sl in self.slices:
+            yield from sl.iter_valid()
+        yield from self.spill.values()
+
+    def occupancy(self) -> int:
+        return sum(sl.occupancy() for sl in self.slices) + len(self.spill)
+
+    @property
+    def entries(self) -> int:
+        return self.geometry.entries * len(self.slices)

@@ -1,0 +1,101 @@
+"""SystemConfig (de)serialisation.
+
+Lets users describe machines in JSON instead of Python -- the equivalent
+of Multi2Sim's configuration files.  Round-trips every field of
+:class:`~repro.params.SystemConfig` and validates through the dataclass
+constructors, so a malformed file fails with the same
+:class:`~repro.params.ConfigError` diagnostics as Python construction.
+
+Example::
+
+    {
+      "cores": 8,
+      "l1":  {"sets": 2,  "ways": 8, "latency": 1},
+      "l2":  {"sets": 16, "ways": 8, "latency": 5},
+      "llc": {"banks": 8, "sets_per_bank": 16, "ways": 16},
+      "directory": {"sets": 32, "ways": 8},
+      "directory_mode": "mesi"
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.params import (
+    CacheGeometry,
+    CHARParams,
+    ConfigError,
+    CoreParams,
+    DirectoryGeometry,
+    DRAMParams,
+    LLCGeometry,
+    PrefetchParams,
+    SystemConfig,
+)
+
+_SECTIONS = {
+    "l1": CacheGeometry,
+    "l2": CacheGeometry,
+    "llc": LLCGeometry,
+    "directory": DirectoryGeometry,
+    "dram": DRAMParams,
+    "core": CoreParams,
+    "char": CHARParams,
+    "prefetch": PrefetchParams,
+}
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    """Nested plain-dict form of a configuration."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a nested dict.
+
+    Unknown keys raise :class:`ConfigError` (catching typos beats silently
+    ignoring them)."""
+    if not isinstance(data, dict):
+        raise ConfigError("configuration must be a JSON object")
+    known = {"cores", "directory_mode", "relocation_fifo_depth",
+             "nextrs_latency"} | set(_SECTIONS)
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
+    kwargs = {}
+    for key, value in data.items():
+        cls = _SECTIONS.get(key)
+        if cls is None:
+            kwargs[key] = value
+            continue
+        if not isinstance(value, dict):
+            raise ConfigError(f"section {key!r} must be an object")
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        bad = set(value) - field_names
+        if bad:
+            raise ConfigError(
+                f"unknown keys in section {key!r}: {sorted(bad)}"
+            )
+        try:
+            kwargs[key] = cls(**value)
+        except TypeError as exc:
+            raise ConfigError(f"section {key!r}: {exc}") from exc
+    try:
+        return SystemConfig(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def save_config(config: SystemConfig, path) -> None:
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+
+
+def load_config(path) -> SystemConfig:
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    return config_from_dict(data)

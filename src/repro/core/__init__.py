@@ -1,0 +1,23 @@
+"""The paper's contribution: the Zero Inclusion Victim LLC."""
+
+from repro.core.property_vector import PropertyVector
+from repro.core.properties import (
+    PROPERTY_LADDERS,
+    PropertyTracker,
+    ZIV_PROPERTY_NAMES,
+)
+from repro.core.relocation import RelocationTracker
+from repro.core.char import CharEngine
+from repro.core.ziv import ZIVScheme
+from repro.core.oracle_ziv import OracleZIVScheme
+
+__all__ = [
+    "OracleZIVScheme",
+    "PropertyVector",
+    "PropertyTracker",
+    "PROPERTY_LADDERS",
+    "ZIV_PROPERTY_NAMES",
+    "RelocationTracker",
+    "CharEngine",
+    "ZIVScheme",
+]

@@ -1,0 +1,158 @@
+"""Adapted CHAR dead-block inference (paper III-D6).
+
+CHAR (Chaudhuri et al., PACT 2012) classifies blocks evicted from the L2
+into groups and tracks, per group, how many evictions occur and how many of
+those blocks are later *recalled* from the LLC.  A group whose recall ratio
+falls below a threshold ``tau`` is considered dead-on-eviction; a block
+evicted from the L2 that classifies into such a group carries a one-bit
+dead hint to the home LLC bank in its eviction notice/writeback header.
+
+The ZIV adaptation makes ``tau = 1/2^d`` dynamic: when a relocation finds
+the ``LikelyDeadNotInPrC`` PV empty, the bank decrements ``d`` (making the
+inference more aggressive) and requests, through the threshold request
+bitvector (TRBV) piggybacked on notice acknowledgments, that the L2
+controllers adopt the smaller ``d``.  ``d`` is periodically reset to its
+initial value to track phase changes.
+
+Block classification attributes (we model no prefetcher, so the paper's
+prefetch attribute is constant): filled-via-LLC-hit (2) x saturating L2
+demand-reuse count (4) x dirty (2) = 16 groups per core.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.private import PrivateEviction
+from repro.params import CHARParams
+
+
+class _CoreCharState:
+    """Per-L2-controller CHAR state: group counters and the local ``d``."""
+
+    __slots__ = ("evictions", "recalls", "d", "evictions_total")
+
+    def __init__(self, n_groups: int, initial_d: int) -> None:
+        self.evictions = [0] * n_groups
+        self.recalls = [0] * n_groups
+        self.d = initial_d
+        self.evictions_total = 0
+
+
+class _BankCharState:
+    """Per-LLC-bank state: the bank's ``d``, TRBV, pacing counters."""
+
+    __slots__ = ("d", "trbv", "notices_since_decrement")
+
+    def __init__(self, cores: int, initial_d: int) -> None:
+        self.d = initial_d
+        self.trbv = 0
+        self.notices_since_decrement = 0
+
+
+class CharEngine:
+    """The full CHAR subsystem: core-side classifiers + bank-side ``d``."""
+
+    def __init__(self, cores: int, banks: int, params: CHARParams | None = None) -> None:
+        self.params = params or CHARParams()
+        self.cores = cores
+        self.banks = banks
+        p = self.params
+        # prefetch(2) x fill-source(2) x reuse(buckets) x dirty(2)
+        self.n_groups = 2 * 2 * p.reuse_buckets * 2
+        self.core_state = [
+            _CoreCharState(self.n_groups, p.initial_d) for _ in range(cores)
+        ]
+        self.bank_state = [
+            _BankCharState(cores, p.initial_d) for _ in range(banks)
+        ]
+        self._notices_since_reset = 0
+        # statistics
+        self.dead_hints = 0
+        self.decrements = 0
+        self.resets = 0
+
+    # -- classification -------------------------------------------------------
+
+    def group_of(self, ev: PrivateEviction) -> int:
+        p = self.params
+        reuse = min(ev.demand_reuses, p.reuse_buckets - 1)
+        group = (
+            (1 if ev.fill_hit else 0)
+            + 2 * reuse
+            + 2 * p.reuse_buckets * (1 if ev.dirty else 0)
+        )
+        if getattr(ev, "prefetched", False):
+            group += 2 * 2 * p.reuse_buckets
+        return group
+
+    def on_l2_eviction(self, core: int, ev: PrivateEviction) -> tuple[int, bool]:
+        """Classify a departing L2 block.
+
+        Returns (group, dead_hint): the group id tags the LLC block for
+        recall detection; the dead hint travels in the notice header."""
+        state = self.core_state[core]
+        group = self.group_of(ev)
+        state.evictions[group] += 1
+        state.evictions_total += 1
+        if state.evictions[group] >= self.params.counter_halve_at:
+            state.evictions[group] //= 2
+            state.recalls[group] //= 2
+        dead = self._infer_dead(state, group)
+        if dead:
+            self.dead_hints += 1
+        return group, dead
+
+    def _infer_dead(self, state: _CoreCharState, group: int) -> bool:
+        e = state.evictions[group]
+        if e < self.params.min_evictions:
+            return False
+        # tau = 1/2^d  =>  recall/evict < tau  <=>  (recall << d) < evict
+        return (state.recalls[group] << state.d) < e
+
+    def on_recall(self, core: int, group: int) -> None:
+        """A block tagged (core, group) was recalled from the LLC by the
+        same core: credit the group."""
+        self.core_state[core].recalls[group] += 1
+
+    # -- dynamic threshold ---------------------------------------------------------
+
+    def on_pv_empty(self, bank: int) -> None:
+        """A relocation in ``bank`` found the LikelyDeadNotInPrC PV empty:
+        lower the bank's ``d`` (rate-limited) and arm the TRBV."""
+        state = self.bank_state[bank]
+        if state.d <= self.params.min_d:
+            return
+        if (state.d < self.params.initial_d
+                and state.notices_since_decrement < self.params.decrement_interval):
+            # Too soon after the previous decrement: the new threshold has
+            # not had time to take effect yet.
+            return
+        state.d -= 1
+        state.trbv = (1 << self.cores) - 1
+        state.notices_since_decrement = 0
+        self.decrements += 1
+
+    def on_notice(self, bank: int, core: int) -> None:
+        """A private-cache eviction notice (or writeback) from ``core``
+        arrived at ``bank``: piggyback the bank's ``d`` in the ack if the
+        TRBV bit is armed; advance pacing and periodic-reset clocks."""
+        state = self.bank_state[bank]
+        state.notices_since_decrement += 1
+        if state.trbv >> core & 1:
+            state.trbv &= ~(1 << core)
+            core_state = self.core_state[core]
+            if state.d < core_state.d:
+                core_state.d = state.d
+        self._notices_since_reset += 1
+        if self._notices_since_reset >= self.params.reset_interval:
+            self.reset_thresholds()
+
+    def reset_thresholds(self) -> None:
+        """Periodic reset of ``d`` back to the initial value everywhere,
+        taking care of phase changes (paper III-D6)."""
+        self._notices_since_reset = 0
+        self.resets += 1
+        for cs in self.core_state:
+            cs.d = self.params.initial_d
+        for bs in self.bank_state:
+            bs.d = self.params.initial_d
+            bs.trbv = 0

@@ -1,0 +1,218 @@
+"""Relocation-set properties and their per-set maintenance (paper III-D).
+
+A *relocation set* must contain at least one block that can be evicted
+without generating inclusion victims.  The paper defines a ladder of
+properties of increasing selectivity; each ZIV variant tracks a subset:
+
+========================  =====================================================
+``invalid``               the set has an invalid way
+``notinprc``              the set has a valid block with no private copies
+``lrunotinprc``           the block in the LRU position has no private copies
+``maxrrpvnotinprc``       the set has an RRPV==max (cache-averse) block with
+                          no private copies
+``likelydeadnotinprc``    the set has a CHAR-inferred dead block with no
+                          private copies
+========================  =====================================================
+
+:class:`PropertyTracker` owns one :class:`PropertyVector` per (bank,
+property) and recomputes a set's property bits whenever the hierarchy
+reports that the set changed.  It also implements the relocation-set
+*victim* selection rules of paper III-E.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.property_vector import PropertyVector
+
+ZIV_PROPERTY_NAMES = (
+    "invalid",
+    "notinprc",
+    "lrunotinprc",
+    "maxrrpvnotinprc",
+    "likelydeadnotinprc",
+)
+
+#: Relocation-set selection priority ladder per ZIV variant (paper III-D2..7).
+#: At each level the original set is checked before the global PV.
+PROPERTY_LADDERS = {
+    "notinprc": ("invalid", "notinprc"),
+    "lrunotinprc": ("invalid", "lrunotinprc", "notinprc"),
+    "maxrrpvnotinprc": ("invalid", "maxrrpvnotinprc", "notinprc"),
+    "likelydead": ("invalid", "likelydeadnotinprc", "notinprc"),
+    "mrlikelydead": (
+        "invalid",
+        "maxrrpvnotinprc",
+        "likelydeadnotinprc",
+        "notinprc",
+    ),
+}
+
+
+class PropertyTracker:
+    """Maintains the PVs of every tracked property for a banked LLC."""
+
+    def __init__(self, llc, properties: tuple[str, ...], stats=None) -> None:
+        unknown = set(properties) - set(ZIV_PROPERTY_NAMES)
+        if unknown:
+            raise ValueError(f"unknown properties: {sorted(unknown)}")
+        self.llc = llc
+        self.properties = tuple(properties)
+        self.stats = stats
+        self.pvs: list[dict[str, PropertyVector]] = [
+            {
+                prop: PropertyVector(
+                    llc.geometry.sets_per_bank, name=f"{prop}[{b}]"
+                )
+                for prop in properties
+            }
+            for b in range(llc.geometry.banks)
+        ]
+        # Direct per-bank PV references for the hot refresh path (None for
+        # untracked properties).
+        self._fast = [
+            tuple(
+                bank_pvs.get(prop)
+                for prop in (
+                    "invalid",
+                    "notinprc",
+                    "lrunotinprc",
+                    "maxrrpvnotinprc",
+                    "likelydeadnotinprc",
+                )
+            )
+            for bank_pvs in self.pvs
+        ]
+        for bank in range(llc.geometry.banks):
+            for set_idx in range(llc.geometry.sets_per_bank):
+                self.refresh(bank, set_idx)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def refresh(self, bank: int, set_idx: int) -> None:
+        """Recompute every tracked property bit of (bank, set) from the
+        current block states (one associativity-wide scan)."""
+        blocks = self.llc.banks[bank].blocks[set_idx]
+        max_rrpv = self.llc.banks[bank].policy.max_rrpv
+        pv_invalid, pv_nip, pv_lru, pv_maxrrpv, pv_dead = self._fast[bank]
+        has_invalid = False
+        has_nip = False
+        has_maxrrpv_nip = False
+        has_dead_nip = False
+        lru_blk = None
+        for blk in blocks:
+            if not blk.valid:
+                has_invalid = True
+                continue
+            if blk.not_in_prc:
+                has_nip = True
+                if blk.rrpv >= max_rrpv:
+                    has_maxrrpv_nip = True
+                if blk.likely_dead:
+                    has_dead_nip = True
+            if lru_blk is None or blk.stamp < lru_blk.stamp:
+                lru_blk = blk
+        if pv_invalid is not None:
+            pv_invalid.set_bit(set_idx, has_invalid)
+        if pv_nip is not None:
+            pv_nip.set_bit(set_idx, has_nip)
+        if pv_lru is not None:
+            pv_lru.set_bit(
+                set_idx, lru_blk is not None and lru_blk.not_in_prc
+            )
+        if pv_maxrrpv is not None:
+            pv_maxrrpv.set_bit(set_idx, has_maxrrpv_nip)
+        if pv_dead is not None:
+            pv_dead.set_bit(set_idx, has_dead_nip)
+
+    # -- queries ---------------------------------------------------------------
+
+    def satisfies(self, bank: int, set_idx: int, prop: str) -> bool:
+        return self.pvs[bank][prop].get_bit(set_idx)
+
+    def pv(self, bank: int, prop: str) -> PropertyVector:
+        return self.pvs[bank][prop]
+
+    def pick_global(self, bank: int, prop: str) -> int:
+        """Consume the round-robin nextRS of (bank, prop); -1 if empty."""
+        return self.pvs[bank][prop].next_relocation_set()
+
+    # -- relocation-set victim selection (paper III-E) ----------------------------
+
+    def select_relocation_victim(
+        self, bank: int, set_idx: int, scheme_property: str
+    ) -> int:
+        """Pick the way to evict from the relocation set.
+
+        The priority order mirrors the scheme's property ladder: an invalid
+        way first, then the scheme-specific rule.  Returns -1 if no block
+        in the set can be evicted without inclusion victims (the caller
+        must then have chosen the set wrongly -- an invariant violation).
+        """
+        cache = self.llc.banks[bank]
+        way = cache.find_invalid_way(set_idx)
+        if way >= 0:
+            return way
+        blocks = cache.blocks[set_idx]
+        max_rrpv = cache.policy.max_rrpv
+        if scheme_property in ("notinprc", "lrunotinprc"):
+            return self._nip_closest_to_lru(blocks)
+        if scheme_property == "maxrrpvnotinprc":
+            return self._nip_highest_rrpv(blocks)
+        if scheme_property == "likelydead":
+            way = self._dead_closest_to_lru(blocks)
+            if way >= 0:
+                return way
+            return self._nip_closest_to_lru(blocks)
+        if scheme_property == "mrlikelydead":
+            way = self._nip_with_rrpv(blocks, max_rrpv)
+            if way >= 0:
+                return way
+            way = self._dead_highest_rrpv(blocks)
+            if way >= 0:
+                return way
+            return self._nip_highest_rrpv(blocks)
+        raise ValueError(f"unknown scheme property {scheme_property!r}")
+
+    @staticmethod
+    def _nip_closest_to_lru(blocks) -> int:
+        best, best_stamp = -1, None
+        for way, blk in enumerate(blocks):
+            if blk.valid and blk.not_in_prc:
+                if best_stamp is None or blk.stamp < best_stamp:
+                    best, best_stamp = way, blk.stamp
+        return best
+
+    @staticmethod
+    def _nip_highest_rrpv(blocks) -> int:
+        best, best_rrpv = -1, -1
+        for way, blk in enumerate(blocks):
+            if blk.valid and blk.not_in_prc and blk.rrpv > best_rrpv:
+                best, best_rrpv = way, blk.rrpv
+        return best
+
+    @staticmethod
+    def _nip_with_rrpv(blocks, rrpv: int) -> int:
+        for way, blk in enumerate(blocks):
+            if blk.valid and blk.not_in_prc and blk.rrpv >= rrpv:
+                return way
+        return -1
+
+    @staticmethod
+    def _dead_closest_to_lru(blocks) -> int:
+        best, best_stamp = -1, None
+        for way, blk in enumerate(blocks):
+            if blk.valid and blk.likely_dead and blk.not_in_prc:
+                if best_stamp is None or blk.stamp < best_stamp:
+                    best, best_stamp = way, blk.stamp
+        return best
+
+    @staticmethod
+    def _dead_highest_rrpv(blocks) -> int:
+        best, best_rrpv = -1, -1
+        for way, blk in enumerate(blocks):
+            if (blk.valid and blk.likely_dead and blk.not_in_prc
+                    and blk.rrpv > best_rrpv):
+                best, best_rrpv = way, blk.rrpv
+        return best

@@ -1,0 +1,86 @@
+"""Property vector (PV) with ``emptyPV`` and the round-robin ``nextRS``.
+
+One PV per tracked property per LLC bank: bit *i* is set when set *i* of
+the bank satisfies the property.  ``nextRS`` points, in round-robin order,
+to the next eligible relocation set; it is recomputed by Algorithm 1 (see
+:func:`repro.utils.bitops.decoded_next_rs`) whenever a relocation starts or
+the PV becomes non-empty.  The round-robin choice spreads the relocation
+load uniformly over eligible sets (paper III-D1).
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import decode_onehot, decoded_next_rs, encode_onehot
+
+
+class PropertyVector:
+    """PV + emptyPV + nextRS for one property of one LLC bank."""
+
+    def __init__(self, n_sets: int, name: str = "pv") -> None:
+        if n_sets <= 0:
+            raise ValueError("n_sets must be positive")
+        self.n_sets = n_sets
+        self.name = name
+        self.bits = 0
+        self._decoded_rs = 0  # one-hot of the last relocation set used
+        self.flips = 0  # PV bit transitions (energy accounting)
+        #: When False, nextRS degenerates to the lowest set bit (an
+        #: ablation of the paper's round-robin load spreading).
+        self.round_robin = True
+
+    # -- bit maintenance -----------------------------------------------------
+
+    def set_bit(self, set_idx: int, value: bool) -> bool:
+        """Update one bit; returns True if the bit changed."""
+        mask = 1 << set_idx
+        old = bool(self.bits & mask)
+        if old == value:
+            return False
+        if value:
+            self.bits |= mask
+        else:
+            self.bits &= ~mask
+        self.flips += 1
+        return True
+
+    def get_bit(self, set_idx: int) -> bool:
+        return bool(self.bits >> set_idx & 1)
+
+    @property
+    def empty(self) -> bool:
+        """The paper's ``emptyPV`` summary bit (computed by OR-reduction
+        in hardware)."""
+        return self.bits == 0
+
+    def population(self) -> int:
+        return bin(self.bits).count("1")
+
+    # -- relocation-set selection ------------------------------------------------
+
+    def next_relocation_set(self) -> int:
+        """Consume the next relocation set in round-robin order.
+
+        Returns the set index, advancing the internal pointer; -1 when the
+        PV is empty.  Mirrors the hardware: the decoded nextRS is the
+        output of Algorithm 1 on the current PV and the last-used RS."""
+        rs = self._decoded_rs if self.round_robin else 0
+        decoded = decoded_next_rs(self.bits, rs, self.n_sets)
+        if decoded == 0:
+            return -1
+        self._decoded_rs = decoded
+        return decode_onehot(decoded)
+
+    def peek_relocation_set(self) -> int:
+        """The set nextRS currently points to, without consuming it."""
+        decoded = decoded_next_rs(self.bits, self._decoded_rs, self.n_sets)
+        return decode_onehot(decoded) if decoded else -1
+
+    def force_pointer(self, set_idx: int) -> None:
+        """Point the round-robin at ``set_idx`` (used by tests)."""
+        self._decoded_rs = encode_onehot(set_idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PV {self.name} pop={self.population()}/{self.n_sets} "
+            f"rs={decode_onehot(self._decoded_rs) if self._decoded_rs else -1}>"
+        )

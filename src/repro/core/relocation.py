@@ -1,0 +1,91 @@
+"""Relocation datapath bookkeeping: FIFO occupancy and interval statistics.
+
+The ZIV LLC buffers blocks awaiting relocation in an eight-entry FIFO per
+bank (paper III-D1): the decoded ``nextRS`` takes three cycles to
+recompute, so back-to-back relocations queue briefly.  The paper's Fig. 18
+characterises the distribution of inter-relocation intervals per bank to
+show the FIFO almost never fills.  This module models that queueing and
+collects the interval histogram.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class _BankRelocationState:
+    __slots__ = ("last_cycle", "pending_departures")
+
+    def __init__(self) -> None:
+        self.last_cycle = None
+        self.pending_departures: list[int] = []
+
+
+class RelocationTracker:
+    """Per-bank relocation interval histogram and FIFO occupancy model."""
+
+    def __init__(self, banks: int, fifo_depth: int = 8,
+                 nextrs_latency: int = 3) -> None:
+        self.banks = banks
+        self.fifo_depth = fifo_depth
+        self.nextrs_latency = nextrs_latency
+        self._state = [_BankRelocationState() for _ in range(banks)]
+        #: histogram over floor(log2(interval)); index 0 holds intervals <= 1
+        self.interval_log2_histogram: dict[int, int] = {}
+        self.intervals_recorded = 0
+        self.short_intervals = 0  # intervals below the nextRS latency
+        self.fifo_peak = 0
+        self.fifo_overflows = 0
+
+    def record(self, bank: int, cycle: int) -> None:
+        """Record a relocation starting at ``cycle`` in ``bank``."""
+        state = self._state[bank]
+        if state.last_cycle is not None:
+            interval = max(0, cycle - state.last_cycle)
+            bucket = int(math.log2(interval)) if interval > 1 else 0
+            self.interval_log2_histogram[bucket] = (
+                self.interval_log2_histogram.get(bucket, 0) + 1
+            )
+            self.intervals_recorded += 1
+            if interval < self.nextrs_latency:
+                self.short_intervals += 1
+        state.last_cycle = cycle
+        # FIFO model: a relocation departs nextrs_latency cycles after the
+        # later of its arrival and the previous departure.
+        departures = state.pending_departures
+        while departures and departures[0] <= cycle:
+            departures.pop(0)
+        start = max(cycle, departures[-1] if departures else cycle)
+        departures.append(start + self.nextrs_latency)
+        occupancy = len(departures)
+        if occupancy > self.fifo_peak:
+            self.fifo_peak = occupancy
+        if occupancy > self.fifo_depth:
+            self.fifo_overflows += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def cdf(self) -> list[tuple[int, float]]:
+        """Cumulative distribution over log2(interval) buckets, as plotted
+        in the paper's Fig. 18: (log2 bucket, cumulative fraction)."""
+        if not self.intervals_recorded:
+            return []
+        total = self.intervals_recorded
+        out = []
+        acc = 0
+        for bucket in sorted(self.interval_log2_histogram):
+            acc += self.interval_log2_histogram[bucket]
+            out.append((bucket, acc / total))
+        return out
+
+    def fraction_below(self, cycles: int) -> float:
+        """Fraction of intervals strictly shorter than ``cycles``."""
+        if not self.intervals_recorded:
+            return 0.0
+        limit = int(math.log2(cycles)) if cycles > 1 else 0
+        count = sum(
+            n
+            for bucket, n in self.interval_log2_histogram.items()
+            if bucket < limit
+        )
+        return count / self.intervals_recorded

@@ -1,0 +1,5 @@
+"""Energy accounting (paper Section V-C / Fig. 19)."""
+
+from repro.energy.model import EnergyModel, EnergyTable
+
+__all__ = ["EnergyModel", "EnergyTable"]

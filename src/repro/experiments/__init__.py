@@ -1,0 +1,60 @@
+"""One module per paper figure/table (see DESIGN.md section 5).
+
+Each module exposes ``run(scale) -> FigureResult``; the ``benchmarks/``
+directory wraps these in pytest-benchmark targets, and running a module as
+a script prints the figure's rows.
+"""
+
+from repro.experiments.common import (
+    SCALES,
+    FigureResult,
+    Scale,
+    cached_run,
+    clear_caches,
+    get_scale,
+    mix_population,
+    mt_workload,
+)
+
+ALL_FIGURES = (
+    "table1",
+    "fig01_motivation",
+    "fig02_inclusion_victims",
+    "fig03_llc_misses",
+    "fig04_l2_misses",
+    "fig08_lru_perf",
+    "fig09_permix_lru",
+    "fig10_lru_misses",
+    "fig11_hawkeye_perf",
+    "fig12_permix_hawkeye",
+    "fig13_hawkeye_misses",
+    "fig14_llc_capacity",
+    "fig15_sparse_dir",
+    "fig16_mt_lru",
+    "fig17_mt_hawkeye",
+    "fig18_reloc_intervals",
+    "fig19_energy",
+)
+
+__all__ = [
+    "SCALES",
+    "Scale",
+    "FigureResult",
+    "cached_run",
+    "clear_caches",
+    "get_scale",
+    "mix_population",
+    "mt_workload",
+    "ALL_FIGURES",
+    "run_figure",
+]
+
+
+def run_figure(name: str, scale=None) -> FigureResult:
+    """Run one figure module by name and return its result."""
+    import importlib
+
+    if name not in ALL_FIGURES:
+        raise ValueError(f"unknown figure {name!r}; known: {ALL_FIGURES}")
+    mod = importlib.import_module(f"repro.experiments.{name}")
+    return mod.run(scale)

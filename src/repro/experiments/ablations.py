@@ -1,0 +1,158 @@
+"""Ablation studies of the ZIV design choices (DESIGN.md §7).
+
+Not figures from the paper -- these probe the design decisions the paper
+argues for:
+
+* **Property ladder**: all five ZIV variants under one configuration; the
+  relocation-set property is "the primary performance determinant"
+  (paper III-G).
+* **Round-robin nextRS** vs a fixed lowest-set-bit choice: the paper
+  claims round-robin matters for spreading relocation load uniformly.
+* **CHAR dynamic d** vs fixed thresholds: the adaptation the paper adds to
+  CHAR (III-D6).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    speedups_vs_baseline,
+)
+from repro.params import CHARParams, scaled_config
+
+
+def run_property_ladder(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Ablation-A",
+        title="ZIV property ladder @512KB (norm. I-LRU 256KB)",
+        columns=["policy", "property", "speedup", "relocations", "same_set"],
+    )
+    matrix = (
+        ("lru", "ziv:notinprc"),
+        ("lru", "ziv:lrunotinprc"),
+        ("lru", "ziv:likelydead"),
+        ("hawkeye", "ziv:maxrrpvnotinprc"),
+        ("hawkeye", "ziv:mrlikelydead"),
+    )
+    for policy, scheme in matrix:
+        runs = [cached_run(wl, scheme, policy, l2="512KB") for wl in mixes]
+        s = speedups_vs_baseline(mixes, baseline, runs)
+        fig.add(
+            policy,
+            scheme.split(":")[1],
+            s["mean"],
+            sum(r.stats.relocations for r in runs),
+            sum(r.stats.relocation_same_set for r in runs),
+        )
+    return fig
+
+
+def run_round_robin(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Ablation-B",
+        title="Round-robin nextRS vs lowest-set-bit @512KB, Hawkeye",
+        columns=["nextRS", "speedup", "relocations"],
+    )
+    for rr, label in ((True, "round-robin"), (False, "lowest-bit")):
+        runs = [
+            cached_run(
+                wl,
+                "ziv:mrlikelydead",
+                "hawkeye",
+                l2="512KB",
+                scheme_kwargs={"round_robin": rr},
+            )
+            for wl in mixes
+        ]
+        s = speedups_vs_baseline(mixes, baseline, runs)
+        fig.add(label, s["mean"], sum(r.stats.relocations for r in runs))
+    return fig
+
+
+def run_char_threshold(scale=None) -> FigureResult:
+    """Fixed-d CHAR variants vs the paper's dynamic d (init 6, min 1)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Ablation-C",
+        title="CHAR threshold dynamics @512KB, LRU + ZIV-LikelyDead",
+        columns=["d_policy", "speedup", "dead_hints_relocations"],
+    )
+    variants = (
+        ("dynamic(6->1)", None),
+        ("fixed d=6", CHARParams(initial_d=6, min_d=6)),
+        ("fixed d=3", CHARParams(initial_d=3, min_d=3)),
+        ("fixed d=1", CHARParams(initial_d=1, min_d=1)),
+    )
+    for label, char_params in variants:
+        runs = []
+        for wl in mixes:
+            cfg = scaled_config("512KB")
+            if char_params is not None:
+                cfg = cfg.replace(char=char_params)
+            runs.append(
+                cached_run(wl, "ziv:likelydead", "lru", config=cfg)
+            )
+        s = speedups_vs_baseline(mixes, baseline, runs)
+        fig.add(label, s["mean"], sum(r.stats.relocations for r in runs))
+    return fig
+
+
+def run_oracle_gap(scale=None) -> FigureResult:
+    """How close do the realisable relocation properties come to the
+    oracle-optimal relocation victim (paper Section VI future work)?
+
+    All runs use lock-step scheduling so the Belady oracle is well
+    defined; speedups are therefore reported as LLC-miss ratios (lock-step
+    carries no timing), normalised to the oracle design."""
+    from repro.cache.replacement import NextUseOracle
+    from repro.core.oracle_ziv import OracleZIVScheme
+    from repro.hierarchy.cmp import CacheHierarchy
+    from repro.params import scaled_config
+    from repro.sim.engine import Simulation
+    from repro.sim.trace import lockstep_stream
+
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    fig = FigureResult(
+        figure="Ablation-D",
+        title="Gap to the oracle relocation victim @512KB, LRU (lockstep)",
+        columns=["design", "llc_misses", "vs_oracle"],
+    )
+    totals = {}
+    for wl in mixes:
+        oracle = NextUseOracle(lockstep_stream(wl))
+        cfg = scaled_config("512KB")
+        h = CacheHierarchy(cfg, OracleZIVScheme(oracle), llc_policy="lru")
+        r = Simulation(h, wl, scheduling="lockstep").run()
+        totals["ziv:oracle"] = totals.get("ziv:oracle", 0) + r.stats.llc_misses
+        for scheme in ("ziv:notinprc", "ziv:likelydead"):
+            rr = cached_run(wl, scheme, "lru", l2="512KB",
+                            scheduling="lockstep")
+            totals[scheme] = totals.get(scheme, 0) + rr.stats.llc_misses
+    base = totals["ziv:oracle"]
+    for name, misses in totals.items():
+        fig.add(name, misses, misses / base if base else 0.0)
+    return fig
+
+
+def main() -> None:
+    run_property_ladder().print_table()
+    run_round_robin().print_table()
+    run_char_threshold().print_table()
+    run_oracle_gap().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Terminal bar charts for figure results.
+
+The paper's figures are bar charts; ``run_all_experiments.py`` and the
+CLI can render a :class:`FigureResult` as ASCII bars so the shape of each
+result is visible without plotting libraries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult
+
+
+def bar_chart(
+    fig: FigureResult,
+    value_col: int,
+    label_cols: tuple[int, ...] = (0, 1),
+    width: int = 48,
+    baseline: float | None = None,
+) -> str:
+    """Render one numeric column of a figure as horizontal bars.
+
+    ``baseline`` draws a marker at that value (e.g. 1.0 for normalised
+    speedups)."""
+    rows = [r for r in fig.rows if isinstance(r[value_col], (int, float))]
+    if not rows:
+        return f"== {fig.figure}: (no numeric rows) =="
+    values = [float(r[value_col]) for r in rows]
+    vmax = max(max(values), baseline or 0.0)
+    if vmax <= 0:
+        vmax = 1.0
+    labels = [
+        " ".join(str(r[c]) for c in label_cols if c < len(r)) for r in rows
+    ]
+    label_w = max(len(s) for s in labels)
+    lines = [f"== {fig.figure}: {fig.title} =="]
+    marker = (
+        int(round((baseline / vmax) * width)) if baseline is not None else -1
+    )
+    for label, value in zip(labels, values):
+        filled = int(round((value / vmax) * width))
+        bar = list("#" * filled + " " * (width - filled))
+        if 0 <= marker < width and bar[marker] == " ":
+            bar[marker] = "|"
+        lines.append(f"{label.ljust(label_w)}  {''.join(bar)} {value:.3f}")
+    return "\n".join(lines)

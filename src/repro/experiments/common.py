@@ -1,0 +1,237 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every figure module exposes ``run(scale) -> FigureResult``.  A *scale*
+selects how many mixes and how many accesses per core the experiment uses:
+``"quick"`` keeps a full-figure regeneration in benchmark-suite territory,
+``"standard"`` tightens the statistics, and ``"full"`` mirrors the paper's
+72-mix population (slow in pure Python).
+
+Simulation results are memoised per process, keyed by the complete run
+recipe, because the figures overlap heavily (the I-LRU-256KB baseline
+appears in every normalisation).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.cache.replacement import NextUseOracle
+from repro.hierarchy.cmp import CacheHierarchy
+from repro.params import SystemConfig, scaled_config, scaled_manycore_config
+from repro.schemes import make_scheme
+from repro.sim.engine import Simulation, SimResult
+from repro.sim.metrics import geomean, mix_speedup
+from repro.sim.trace import Workload, lockstep_stream
+from repro.workloads.mixes import heterogeneous_mixes, homogeneous_mixes
+from repro.workloads.multithreaded import multithreaded_workload
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizing for one experiment fidelity level."""
+
+    homo_mixes: int
+    hetero_mixes: int
+    accesses: int
+    mt_accesses: int
+
+
+SCALES = {
+    "smoke": Scale(2, 2, 600, 1200),
+    "quick": Scale(4, 4, 1500, 4000),
+    "standard": Scale(12, 12, 3000, 8000),
+    "full": Scale(36, 36, 8000, 20000),
+}
+
+
+def get_scale(scale: str | Scale | None = None) -> Scale:
+    """Resolve a scale; the REPRO_SCALE environment variable overrides the
+    default ("quick")."""
+    if isinstance(scale, Scale):
+        return scale
+    name = scale or os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; known: {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass
+class FigureResult:
+    """The rows a figure/table prints: a direct analogue of the paper's
+    plotted series."""
+
+    figure: str
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *row) -> None:
+        self.rows.append(tuple(row))
+
+    def format_table(self) -> str:
+        widths = [len(c) for c in self.columns]
+        str_rows = []
+        for row in self.rows:
+            cells = [
+                f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+            ]
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+            str_rows.append(cells)
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in str_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def print_table(self) -> None:
+        print(self.format_table())
+
+    def row_map(self, key_cols: int = 2) -> dict:
+        """Dict keyed by the first ``key_cols`` columns of each row."""
+        return {row[:key_cols]: row[key_cols:] for row in self.rows}
+
+
+# ---------------------------------------------------------------------------
+# Workload and simulation caches
+# ---------------------------------------------------------------------------
+
+_MIX_CACHE: dict = {}
+_RESULT_CACHE: dict = {}
+_ORACLE_CACHE: dict = {}
+
+
+def clear_caches() -> None:
+    _MIX_CACHE.clear()
+    _RESULT_CACHE.clear()
+    _ORACLE_CACHE.clear()
+
+
+def mix_population(scale: Scale, cores: int = 8, seed: int = 7) -> list[Workload]:
+    """The multi-programmed mix population at this scale: a spread of
+    homogeneous mixes plus balanced heterogeneous mixes."""
+    key = ("mp", scale, cores, seed)
+    if key not in _MIX_CACHE:
+        homo_all = homogeneous_mixes(
+            cores=cores, n_accesses=scale.accesses, seed=seed
+        )
+        step = max(1, len(homo_all) // scale.homo_mixes)
+        homo = homo_all[::step][: scale.homo_mixes]
+        hetero = heterogeneous_mixes(
+            n_mixes=scale.hetero_mixes,
+            cores=cores,
+            n_accesses=scale.accesses,
+            seed=seed,
+        )
+        _MIX_CACHE[key] = homo + hetero
+    return _MIX_CACHE[key]
+
+
+def mt_workload(app: str, scale: Scale, cores: int = 8, seed: int = 7) -> Workload:
+    key = ("mt", app, scale, cores, seed)
+    if key not in _MIX_CACHE:
+        _MIX_CACHE[key] = multithreaded_workload(
+            app, cores=cores, n_accesses=scale.mt_accesses, seed=seed
+        )
+    return _MIX_CACHE[key]
+
+
+def _oracle_for(workload: Workload) -> NextUseOracle:
+    key = id(workload)
+    if key not in _ORACLE_CACHE:
+        _ORACLE_CACHE[key] = NextUseOracle(lockstep_stream(workload))
+    return _ORACLE_CACHE[key]
+
+
+def cached_run(
+    workload: Workload,
+    scheme: str,
+    policy: str = "lru",
+    l2: str = "256KB",
+    llc_scale: int = 1,
+    cores: int = 8,
+    directory_mode: str = "mesi",
+    directory_factor: float = 2.0,
+    scheduling: str = "timing",
+    config: SystemConfig | None = None,
+    scheme_kwargs: dict | None = None,
+) -> SimResult:
+    """Run (or fetch) one simulation.
+
+    ``policy="belady"`` automatically builds the lock-step MIN oracle and
+    forces lock-step scheduling, per the paper's footnote 2."""
+    kw_key = tuple(sorted((scheme_kwargs or {}).items()))
+    key = (
+        id(workload), scheme, policy, l2, llc_scale, cores, directory_mode,
+        directory_factor, scheduling, config, kw_key,
+    )
+    if key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    if config is None:
+        config = scaled_config(
+            l2,
+            cores=cores,
+            directory_mode=directory_mode,
+            directory_factor=directory_factor,
+            llc_scale=llc_scale,
+        )
+    oracle = None
+    if policy == "belady":
+        oracle = _oracle_for(workload)
+        scheduling = "lockstep"
+    scheme_obj = make_scheme(scheme, **(scheme_kwargs or {}))
+    hierarchy = CacheHierarchy(
+        config, scheme_obj, llc_policy=policy, oracle=oracle
+    )
+    sim = Simulation(
+        hierarchy, workload, scheduling=scheduling, llc_policy_name=policy
+    )
+    result = sim.run()
+    _RESULT_CACHE[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Aggregation helpers
+# ---------------------------------------------------------------------------
+
+def speedups_vs_baseline(
+    mixes: list[Workload],
+    baseline_runs: list[SimResult],
+    candidate_runs: list[SimResult],
+) -> dict[str, float]:
+    sp = [mix_speedup(b, c) for b, c in zip(baseline_runs, candidate_runs)]
+    return {"mean": geomean(sp), "min": min(sp), "max": max(sp)}
+
+
+def normalized_total(
+    baseline_runs: list[SimResult],
+    candidate_runs: list[SimResult],
+    counter: str,
+) -> float:
+    def total(runs):
+        if counter == "l2_misses":
+            return sum(r.stats.l2_misses for r in runs)
+        return sum(getattr(r.stats, counter) for r in runs)
+
+    base = total(baseline_runs)
+    return total(candidate_runs) / base if base else 0.0
+
+
+def baseline_runs_for(
+    mixes: list[Workload], cores: int = 8
+) -> list[SimResult]:
+    """The universal normalisation baseline: I-LRU with the 256KB L2."""
+    return [
+        cached_run(wl, "inclusive", "lru", l2="256KB", cores=cores)
+        for wl in mixes
+    ]

@@ -1,0 +1,42 @@
+"""Fig. 4: normalised L2 miss counts for the motivation configurations.
+
+Expected shape (paper): NI's L2 misses are independent of the LLC policy;
+I's L2 misses exceed NI's by the inclusion-victim volume, so I-Hawkeye
+shows the largest counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    normalized_total,
+)
+from repro.experiments.fig01_motivation import CONFIGS, L2_POINTS
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Fig.4",
+        title="Normalised L2 miss count (norm. to I-LRU 256KB)",
+        columns=["l2", "config", "norm_l2_misses"],
+    )
+    for l2 in L2_POINTS:
+        for scheme, policy, label in CONFIGS:
+            runs = [cached_run(wl, scheme, policy, l2=l2) for wl in mixes]
+            fig.add(l2, label, normalized_total(baseline, runs, "l2_misses"))
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Fig. 8: multi-programmed performance, LRU baseline LLC policy.
+
+Schemes: baseline inclusive, non-inclusive, QBS, SHARP, and the three ZIV
+designs for LRU (NotInPrC, LRUNotInPrC, LikelyDead), plus the paper's
+CHARonBase comparison point, at the three L2 capacities.  Normalised to
+I-LRU @ 256 KB.
+
+Expected shape (paper): QBS/SHARP near NI at 256 KB but failing to scale;
+ZIV-NotInPrC/LRUNotInPrC close to QBS/SHARP but with a zero-inclusion-
+victim guarantee; ZIV-LikelyDead best across the board, meeting or beating
+NI at 256/512 KB; CHARonBase between the two groups.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    speedups_vs_baseline,
+)
+
+L2_POINTS = ("256KB", "512KB", "768KB")
+SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("qbs", "QBS"),
+    ("sharp", "SHARP"),
+    ("charonbase", "CHARonBase"),
+    ("ziv:notinprc", "ZIV-NotInPrC"),
+    ("ziv:lrunotinprc", "ZIV-LRUNotInPrC"),
+    ("ziv:likelydead", "ZIV-LikelyDead"),
+)
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Fig.8",
+        title="Multi-programmed speedup, LRU baseline (norm. to I-LRU 256KB)",
+        columns=["l2", "scheme", "speedup", "min", "max", "incl_victims"],
+    )
+    for l2 in L2_POINTS:
+        for scheme, label in SCHEMES:
+            runs = [cached_run(wl, scheme, "lru", l2=l2) for wl in mixes]
+            s = speedups_vs_baseline(mixes, baseline, runs)
+            victims = sum(r.stats.inclusion_victims_llc for r in runs)
+            fig.add(l2, label, s["mean"], s["min"], s["max"], victims)
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

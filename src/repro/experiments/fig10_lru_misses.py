@@ -1,0 +1,48 @@
+"""Fig. 10: normalised LLC misses (upper panel) and L2 misses (lower
+panel) for the LRU-baseline schemes of Fig. 8.
+
+Expected shape (paper): ZIV-LikelyDead saves more LLC misses than NI at
+256/512 KB; QBS, SHARP and the ZIV designs all save nearly the same L2
+misses as NI (they all suppress nearly every inclusion victim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    normalized_total,
+)
+from repro.experiments.fig08_lru_perf import L2_POINTS, SCHEMES
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Fig.10",
+        title="Normalised LLC and L2 misses, LRU baseline",
+        columns=["l2", "scheme", "norm_llc_misses", "norm_l2_misses"],
+    )
+    for l2 in L2_POINTS:
+        for scheme, label in SCHEMES:
+            runs = [cached_run(wl, scheme, "lru", l2=l2) for wl in mixes]
+            fig.add(
+                l2,
+                label,
+                normalized_total(baseline, runs, "llc_misses"),
+                normalized_total(baseline, runs, "l2_misses"),
+            )
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

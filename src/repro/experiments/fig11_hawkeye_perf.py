@@ -1,0 +1,57 @@
+"""Fig. 11: multi-programmed performance, Hawkeye baseline LLC policy.
+
+Schemes: inclusive, non-inclusive, QBS, SHARP and the two ZIV designs for
+RRPV-graded policies (MRNotInPrC, MRLikelyDead).  Normalised to I-LRU @
+256 KB (the same universal baseline as every other figure).
+
+Expected shape (paper): ZIV-MRLikelyDead best among inclusive designs and
+close to (but not above) NI at 256/512 KB, roughly a percent above
+MRNotInPrC; QBS/SHARP clearly behind.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    speedups_vs_baseline,
+)
+
+L2_POINTS = ("256KB", "512KB", "768KB")
+SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("qbs", "QBS"),
+    ("sharp", "SHARP"),
+    ("ziv:maxrrpvnotinprc", "ZIV-MRNotInPrC"),
+    ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
+)
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Fig.11",
+        title="Multi-programmed speedup, Hawkeye baseline (norm. I-LRU 256KB)",
+        columns=["l2", "scheme", "speedup", "min", "max", "incl_victims"],
+    )
+    for l2 in L2_POINTS:
+        for scheme, label in SCHEMES:
+            runs = [cached_run(wl, scheme, "hawkeye", l2=l2) for wl in mixes]
+            s = speedups_vs_baseline(mixes, baseline, runs)
+            victims = sum(r.stats.inclusion_victims_llc for r in runs)
+            fig.add(l2, label, s["mean"], s["min"], s["max"], victims)
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Fig. 12: per-mix speedup of ZIV-MRLikelyDead @ 512 KB (Hawkeye)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+)
+from repro.sim.metrics import geomean, mix_speedup
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)
+    fig = FigureResult(
+        figure="Fig.12",
+        title="Per-mix speedup of ZIV-MRLikelyDead @512KB (norm. I-LRU 256KB)",
+        columns=["mix", "kind", "speedup"],
+    )
+    homo_sp, hetero_sp = [], []
+    for wl, base in zip(mixes, baseline):
+        run_ = cached_run(wl, "ziv:mrlikelydead", "hawkeye", l2="512KB")
+        sp = mix_speedup(base, run_)
+        kind = "hetero" if wl.name.startswith("hetero") else "homo"
+        (hetero_sp if kind == "hetero" else homo_sp).append(sp)
+        fig.add(wl.name, kind, sp)
+    if homo_sp:
+        fig.add("AVG-homo", "homo", geomean(homo_sp))
+    if hetero_sp:
+        fig.add("AVG-hetero", "hetero", geomean(hetero_sp))
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Fig. 14: sensitivity to LLC capacity -- 16 MB LLC with 1 MB per-core L2
+(scaled: LLC doubled, per-core L2 = half the per-core LLC share).
+
+Normalised to the *8 MB* I-LRU 256 KB baseline, as in the paper.
+
+Expected shape (paper): under LRU, ZIV-LikelyDead still surpasses NI;
+under Hawkeye, MRNotInPrC and MRLikelyDead come close to NI.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    baseline_runs_for,
+    cached_run,
+    get_scale,
+    mix_population,
+    speedups_vs_baseline,
+)
+
+LRU_SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("ziv:notinprc", "ZIV-NotInPrC"),
+    ("ziv:lrunotinprc", "ZIV-LRUNotInPrC"),
+    ("ziv:likelydead", "ZIV-LikelyDead"),
+)
+HAWKEYE_SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("ziv:maxrrpvnotinprc", "ZIV-MRNotInPrC"),
+    ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
+)
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    baseline = baseline_runs_for(mixes)  # 8MB-scale I-LRU 256KB
+    fig = FigureResult(
+        figure="Fig.14",
+        title="16MB LLC + 1MB L2 sensitivity (norm. to 8MB I-LRU 256KB)",
+        columns=["policy", "scheme", "speedup", "min", "max"],
+    )
+    for policy, schemes in (("lru", LRU_SCHEMES), ("hawkeye", HAWKEYE_SCHEMES)):
+        for scheme, label in schemes:
+            runs = [
+                cached_run(wl, scheme, policy, l2="1MB", llc_scale=2)
+                for wl in mixes
+            ]
+            s = speedups_vs_baseline(mixes, baseline, runs)
+            fig.add(policy, label, s["mean"], s["min"], s["max"])
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

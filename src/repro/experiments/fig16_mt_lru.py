@@ -1,0 +1,77 @@
+"""Fig. 16: multi-threaded workloads, LRU baseline.
+
+canneal/facesim/vips/applu run on the 8-core machine with the 512 KB-class
+L2; the TPC-E-like server profile runs on the scaled many-core machine
+whose per-core L2 is half its per-core LLC share.  Each app is normalised
+to its own I-LRU baseline.
+
+Expected shape (paper): canneal/facesim/vips barely sensitive; applu and
+TPC-E favour ZIV-LikelyDead, which beats even NI on them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FigureResult,
+    cached_run,
+    get_scale,
+    mt_workload,
+)
+from repro.params import scaled_manycore_config
+from repro.sim.metrics import mix_speedup
+
+APPS = ("canneal", "facesim", "vips", "applu")
+SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("qbs", "QBS"),
+    ("sharp", "SHARP"),
+    ("ziv:notinprc", "ZIV-NotInPrC"),
+    ("ziv:likelydead", "ZIV-LikelyDead"),
+)
+
+
+def run(scale=None, policy: str = "lru",
+        schemes=SCHEMES, figure: str = "Fig.16") -> FigureResult:
+    scale = get_scale(scale)
+    fig = FigureResult(
+        figure=figure,
+        title=f"Multi-threaded speedup, {policy} baseline (norm. I-{policy})",
+        columns=["app", "scheme", "speedup", "incl_victims", "relocations"],
+    )
+    for app in APPS:
+        wl = mt_workload(app, scale, cores=8)
+        base = cached_run(wl, "inclusive", policy, l2="512KB")
+        for scheme, label in schemes:
+            r = cached_run(wl, scheme, policy, l2="512KB")
+            fig.add(
+                app,
+                label,
+                mix_speedup(base, r),
+                r.stats.inclusion_victims_llc,
+                r.stats.relocations,
+            )
+    # TPC-E on the scaled many-core configuration.
+    mc_cfg = scaled_manycore_config()
+    wl = mt_workload("tpce", scale, cores=mc_cfg.cores)
+    base = cached_run(wl, "inclusive", policy, cores=mc_cfg.cores,
+                      config=mc_cfg)
+    for scheme, label in schemes:
+        cfg = scaled_manycore_config()
+        r = cached_run(wl, scheme, policy, cores=cfg.cores, config=cfg)
+        fig.add(
+            "tpce",
+            label,
+            mix_speedup(base, r),
+            r.stats.inclusion_victims_llc,
+            r.stats.relocations,
+        )
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

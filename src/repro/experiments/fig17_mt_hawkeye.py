@@ -1,0 +1,38 @@
+"""Fig. 17: multi-threaded workloads, Hawkeye baseline.
+
+Expected shape (paper): both ZIV designs close to NI; QBS and SHARP fall
+*below* the inclusive baseline on facesim/vips -- those apps have heavy
+LLC reuse and QBS/SHARP sacrifice LLC hits to protect privately cached
+blocks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult, get_scale
+from repro.experiments import fig16_mt_lru
+
+SCHEMES = (
+    ("inclusive", "I"),
+    ("noninclusive", "NI"),
+    ("qbs", "QBS"),
+    ("sharp", "SHARP"),
+    ("ziv:maxrrpvnotinprc", "ZIV-MRNotInPrC"),
+    ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
+)
+
+
+def run(scale=None) -> FigureResult:
+    return fig16_mt_lru.run(
+        scale=get_scale(scale),
+        policy="hawkeye",
+        schemes=SCHEMES,
+        figure="Fig.17",
+    )
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Fig. 19: relocation contribution to energy per instruction.
+
+The relocation EPI (block read + write per relocation, widened-directory
+delta, PV maintenance) of ZIV-MRLikelyDead under Hawkeye at the three L2
+points, plus the EPI *saved* in the hierarchy and DRAM versus the
+inclusive baseline.
+
+Expected shape (paper): relocation EPI grows with L2 capacity (more
+relocations needed) but stays small, and at 512 KB the savings
+(hierarchy + DRAM) exceed the relocation cost.
+"""
+
+from __future__ import annotations
+
+from repro.energy.model import epi_saving_pj
+from repro.experiments.common import (
+    FigureResult,
+    cached_run,
+    get_scale,
+    mix_population,
+)
+
+L2_POINTS = ("256KB", "512KB", "768KB")
+
+
+def run(scale=None) -> FigureResult:
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    fig = FigureResult(
+        figure="Fig.19",
+        title="Relocation EPI of ZIV-MRLikelyDead (Hawkeye) and EPI savings",
+        columns=[
+            "l2",
+            "reloc_epi_pj",
+            "saved_hier_pj",
+            "saved_dram_pj",
+            "net_saving_pj",
+        ],
+    )
+    for l2 in L2_POINTS:
+        reloc_epi = 0.0
+        saved_hier = 0.0
+        saved_dram = 0.0
+        for wl in mixes:
+            base = cached_run(wl, "inclusive", "hawkeye", l2=l2)
+            ziv = cached_run(wl, "ziv:mrlikelydead", "hawkeye", l2=l2)
+            insts = ziv.stats.total_instructions
+            saving = epi_saving_pj(base.energy, ziv.energy, insts)
+            reloc_epi += saving["relocation_cost"]
+            saved_hier += saving["hierarchy"]
+            saved_dram += saving["dram"]
+        n = len(mixes)
+        reloc_epi /= n
+        saved_hier /= n
+        saved_dram /= n
+        fig.add(
+            l2,
+            reloc_epi,
+            saved_hier,
+            saved_dram,
+            saved_hier + saved_dram - reloc_epi,
+        )
+    return fig
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""The CMP cache hierarchy: private caches, banked LLC, full access flow."""
+
+from repro.hierarchy.private import PrivateEviction, PrivateHierarchy
+from repro.hierarchy.llc import LastLevelCache
+from repro.hierarchy.cmp import CacheHierarchy
+
+__all__ = [
+    "PrivateEviction",
+    "PrivateHierarchy",
+    "LastLevelCache",
+    "CacheHierarchy",
+]

@@ -1,0 +1,98 @@
+"""On-chip interconnect model.
+
+Table I specifies a 2D mesh with 1 ns routing delay per hop and 0.5 ns
+link latency.  The LLC banks are distributed over the mesh (paper III-A:
+"the banks are distributed over the on-chip interconnect, the exact
+topology of which is not important for the discussion"), so the only
+performance-relevant property is the *hop count* between a core and a
+block's home bank.
+
+:class:`MeshInterconnect` places cores and banks on a near-square mesh in
+row-major order (cores first, banks after, the common tiled layout) and
+returns per-(core, bank) one-way latencies in cycles.  A constant-latency
+model remains available for configurations that predate the mesh
+(``kind="flat"``), and is also what the scaled default uses unless a mesh
+is requested -- the figures in the paper never sweep the topology.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.params import CoreParams
+
+
+class MeshInterconnect:
+    """Hop-count mesh latency between cores and LLC banks."""
+
+    def __init__(
+        self,
+        cores: int,
+        banks: int,
+        router_delay: int = 4,  # cycles per hop at 4 GHz (1 ns)
+        link_delay: int = 2,  # cycles per link (0.5 ns)
+    ) -> None:
+        if cores <= 0 or banks <= 0:
+            raise ValueError("cores and banks must be positive")
+        self.cores = cores
+        self.banks = banks
+        self.router_delay = router_delay
+        self.link_delay = link_delay
+        nodes = cores + banks
+        self.width = max(1, int(math.ceil(math.sqrt(nodes))))
+        self._coords = {}
+        for node in range(nodes):
+            self._coords[node] = (node % self.width, node // self.width)
+        # one-way latency table [core][bank]
+        self.latency_table = [
+            [self._latency(core, cores + bank) for bank in range(banks)]
+            for core in range(cores)
+        ]
+
+    def _hops(self, a: int, b: int) -> int:
+        (ax, ay), (bx, by) = self._coords[a], self._coords[b]
+        return abs(ax - bx) + abs(ay - by)
+
+    def _latency(self, a: int, b: int) -> int:
+        hops = self._hops(a, b)
+        if hops == 0:
+            return self.router_delay
+        return hops * (self.router_delay + self.link_delay)
+
+    def latency(self, core: int, bank: int) -> int:
+        """One-way core -> bank latency in cycles."""
+        return self.latency_table[core][bank]
+
+    def average_latency(self) -> float:
+        total = sum(sum(row) for row in self.latency_table)
+        return total / (self.cores * self.banks)
+
+    def max_latency(self) -> int:
+        return max(max(row) for row in self.latency_table)
+
+
+class FlatInterconnect:
+    """Constant one-way latency (the pre-mesh default)."""
+
+    def __init__(self, latency: int) -> None:
+        self._latency = latency
+
+    def latency(self, core: int, bank: int) -> int:
+        return self._latency
+
+    def average_latency(self) -> float:
+        return float(self._latency)
+
+    def max_latency(self) -> int:
+        return self._latency
+
+
+def make_interconnect(core_params: CoreParams, cores: int, banks: int):
+    """Build the interconnect configured in ``core_params``.
+
+    ``interconnect_kind == "mesh"`` activates the Table I mesh; anything
+    else keeps the flat constant-latency model."""
+    kind = getattr(core_params, "interconnect_kind", "flat")
+    if kind == "mesh":
+        return MeshInterconnect(cores, banks)
+    return FlatInterconnect(core_params.interconnect_latency)

@@ -1,0 +1,125 @@
+"""Banked shared last-level cache.
+
+Eight address-interleaved banks (Table I), each a set-associative array
+with its own replacement-policy instance.  For Hawkeye, the PC predictor is
+shared across banks (one logical policy observing the whole LLC stream);
+for the offline MIN study, every bank shares one next-use oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import (
+    BeladyPolicy,
+    HawkeyePolicy,
+    LRUPolicy,
+    NextUseOracle,
+    make_policy,
+)
+from repro.cache.replacement.hawkeye import HawkeyePredictor
+from repro.params import LLCGeometry
+
+
+class LastLevelCache:
+    """The shared LLC: bank mapping plus per-bank arrays."""
+
+    def __init__(
+        self,
+        geometry: LLCGeometry,
+        policy_name: str = "lru",
+        oracle: Optional[NextUseOracle] = None,
+        policy_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.policy_name = policy_name
+        kwargs = dict(policy_kwargs or {})
+        self.hawkeye_predictor: Optional[HawkeyePredictor] = None
+        self.banks: list[SetAssociativeCache] = []
+        for b in range(geometry.banks):
+            policy = self._make_bank_policy(policy_name, oracle, kwargs)
+            self.banks.append(
+                SetAssociativeCache(
+                    geometry.sets_per_bank,
+                    geometry.ways,
+                    policy,
+                    name=f"LLC[{b}]",
+                    index_shift=(geometry.banks - 1).bit_length(),
+                )
+            )
+
+    def _make_bank_policy(self, name, oracle, kwargs):
+        if name == "belady":
+            if oracle is None:
+                raise ValueError("belady policy requires a next-use oracle")
+            return BeladyPolicy(oracle)
+        if name == "hawkeye":
+            if self.hawkeye_predictor is None:
+                self.hawkeye_predictor = HawkeyePredictor(
+                    kwargs.pop("predictor_entries", 2048)
+                )
+            return HawkeyePolicy(predictor=self.hawkeye_predictor, **kwargs)
+        return make_policy(name, **kwargs)
+
+    # -- addressing ---------------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        return self.geometry.bank_index(addr)
+
+    def set_of(self, addr: int) -> int:
+        return self.geometry.set_index(addr)
+
+    def location(self, addr: int) -> tuple[int, int, int]:
+        """(bank, set, way) of a non-relocated resident copy, else
+        (bank, set, -1)."""
+        bank = self.bank_of(addr)
+        set_idx = self.set_of(addr)
+        way = self.banks[bank].index[set_idx].get(addr, -1)
+        if way >= 0 and self.banks[bank].blocks[set_idx][way].relocated:
+            way = -1
+        return bank, set_idx, way
+
+    def probe(self, addr: int) -> int:
+        """Way of a non-relocated resident copy in its home set (-1 if
+        absent)."""
+        return self.location(addr)[2]
+
+    def block(self, bank: int, set_idx: int, way: int) -> CacheBlock:
+        return self.banks[bank].blocks[set_idx][way]
+
+    def find_anywhere(self, addr: int) -> Optional[tuple[int, int, int]]:
+        """(bank, set, way) of ``addr`` wherever it is (including relocated
+        copies); None if absent.  Used by invariant checks and by the
+        relocated-block directory back-pointer model."""
+        bank = self.bank_of(addr)
+        set_idx = self.set_of(addr)
+        way = self.banks[bank].index[set_idx].get(addr, -1)
+        if way >= 0:
+            return bank, set_idx, way
+        for b, cache in enumerate(self.banks):
+            for s, d in enumerate(cache.index):
+                w = d.get(addr, -1)
+                if w >= 0:
+                    return b, s, w
+        return None
+
+    # -- content queries ------------------------------------------------------
+
+    def resident_addrs(self) -> set[int]:
+        out: set[int] = set()
+        for cache in self.banks:
+            out |= cache.resident_addrs()
+        return out
+
+    def occupancy(self) -> int:
+        return sum(c.occupancy() for c in self.banks)
+
+    @property
+    def blocks_total(self) -> int:
+        return self.geometry.blocks
+
+    def touch(self, addr: int, ctx: AccessContext) -> None:
+        bank = self.bank_of(addr)
+        self.banks[bank].touch(addr, ctx)

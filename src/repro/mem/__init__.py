@@ -1,0 +1,5 @@
+"""Main-memory substrate."""
+
+from repro.mem.dram import DRAMModel
+
+__all__ = ["DRAMModel"]

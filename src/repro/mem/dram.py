@@ -1,0 +1,88 @@
+"""Event-cost DDR3-like main-memory model.
+
+The paper backs its CMP with DRAMSim2 configured as two single-channel
+DDR3-2133 controllers (Table I).  A full command-level DRAM simulator is
+unnecessary for the paper's results (which never sweep memory parameters),
+so this model captures the three first-order effects that make LLC-miss
+counts translate into time:
+
+* **row-buffer locality** -- consecutive misses to the same DRAM row are
+  much cheaper (open-page policy, one open row per bank);
+* **bank-level parallelism** -- requests to distinct banks overlap, while
+  requests to a busy bank queue behind it;
+* **channel interleaving** -- block addresses stripe across channels.
+
+Latencies are expressed in CPU cycles (4 GHz core clock).
+"""
+
+from __future__ import annotations
+
+from repro.params import DRAMParams
+
+
+class DRAMModel:
+    """Bank/row-buffer event-cost model.
+
+    ``access(block_addr, cycle)`` returns the full service latency of a
+    request arriving at ``cycle``, including any wait for the target bank.
+    """
+
+    def __init__(self, params: DRAMParams | None = None) -> None:
+        self.params = params or DRAMParams()
+        p = self.params
+        n_banks = p.channels * p.banks_per_channel
+        self._open_row = [-1] * n_banks
+        self._bank_ready = [0] * n_banks
+        # statistics
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.total_wait = 0
+
+    def _map(self, block_addr: int) -> tuple[int, int]:
+        """Return (global bank index, row id) for a block address."""
+        p = self.params
+        channel = block_addr & (p.channels - 1)
+        rest = block_addr >> (p.channels - 1).bit_length()
+        bank = rest & (p.banks_per_channel - 1)
+        row = rest >> (p.banks_per_channel - 1).bit_length() >> p.row_bits
+        return channel * p.banks_per_channel + bank, row
+
+    def access(self, block_addr: int, cycle: int, is_write: bool = False) -> int:
+        """Service a request; returns latency from ``cycle`` to data return."""
+        p = self.params
+        bank, row = self._map(block_addr)
+        wait = max(0, self._bank_ready[bank] - cycle)
+        self.total_wait += wait
+        open_row = self._open_row[bank]
+        if open_row == row:
+            service = p.row_hit_latency
+            self.row_hits += 1
+        elif open_row < 0:
+            service = p.row_miss_latency
+            self.row_misses += 1
+        else:
+            service = p.row_conflict_latency
+            self.row_conflicts += 1
+        self._open_row[bank] = row
+        start = cycle + wait
+        self._bank_ready[bank] = start + p.bank_busy
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return wait + service
+
+    def write_back(self, block_addr: int, cycle: int) -> int:
+        """Post a writeback; occupies the bank but is off the critical path."""
+        return self.access(block_addr, cycle, is_write=True)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,15 @@
+"""L2 hardware prefetchers."""
+
+from repro.prefetch.engines import (
+    NextLinePrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+__all__ = [
+    "Prefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

@@ -1,0 +1,59 @@
+"""LLC inclusion schemes: how the LLC selects victims and treats the
+private caches on eviction.
+
+* ``inclusive`` -- baseline inclusive LLC with back-invalidations.
+* ``noninclusive`` -- no back-invalidations (implements fill-on-miss only).
+* ``qbs`` -- TLA query-based selection (Jaleel et al., MICRO 2010).
+* ``sharp`` -- SHARP victim selection (Yan et al., ISCA 2017).
+* ``charonbase`` -- CHAR-assisted in-set victim choice (paper Section V-A).
+* ``ziv`` -- the paper's contribution, in :mod:`repro.core.ziv`.
+"""
+
+from repro.schemes.base import InclusionScheme
+from repro.schemes.inclusive import InclusiveScheme
+from repro.schemes.noninclusive import NonInclusiveScheme
+from repro.schemes.qbs import QBSScheme
+from repro.schemes.sharp import SHARPScheme
+from repro.schemes.charonbase import CHAROnBaseScheme
+from repro.schemes.tla import ECIScheme, TLHScheme
+
+__all__ = [
+    "InclusionScheme",
+    "InclusiveScheme",
+    "NonInclusiveScheme",
+    "QBSScheme",
+    "SHARPScheme",
+    "CHAROnBaseScheme",
+    "TLHScheme",
+    "ECIScheme",
+    "make_scheme",
+]
+
+
+def make_scheme(name: str, **kwargs) -> InclusionScheme:
+    """Build an inclusion scheme by name.
+
+    ZIV variants are named ``"ziv:<property>"`` with property one of
+    ``notinprc``, ``lrunotinprc``, ``maxrrpvnotinprc``, ``likelydead``,
+    ``mrlikelydead`` (see :mod:`repro.core.ziv`).
+    """
+    from repro.core.ziv import ZIVScheme  # local import to avoid a cycle
+
+    if name.startswith("ziv:"):
+        return ZIVScheme(property_name=name.split(":", 1)[1], **kwargs)
+    factory = {
+        "inclusive": InclusiveScheme,
+        "noninclusive": NonInclusiveScheme,
+        "qbs": QBSScheme,
+        "sharp": SHARPScheme,
+        "charonbase": CHAROnBaseScheme,
+        "tlh": TLHScheme,
+        "eci": ECIScheme,
+    }
+    try:
+        cls = factory[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {sorted(factory)} or 'ziv:<prop>'"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,25 @@
+"""Baseline inclusive LLC: evictions back-invalidate private copies."""
+
+from __future__ import annotations
+
+from repro.cache.block import CacheBlock
+from repro.cache.set_assoc import AccessContext
+from repro.schemes.base import InclusionScheme
+
+
+class InclusiveScheme(InclusionScheme):
+    """The classic inclusive LLC (paper Section I).
+
+    On a fill, the baseline replacement policy picks the victim from the
+    target set; if the victim has privately cached copies, they are
+    forcefully invalidated (back-invalidation), producing inclusion
+    victims.
+    """
+
+    name = "inclusive"
+    inclusive = True
+
+    def install(self, addr: int, ctx: AccessContext) -> CacheBlock:
+        bank = self.cmp.llc.bank_of(addr)
+        set_idx = self.cmp.llc.set_of(addr)
+        return self._baseline_fill(bank, set_idx, addr, ctx, back_invalidate=True)

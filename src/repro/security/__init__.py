@@ -1,0 +1,30 @@
+"""Side-channel analysis harnesses.
+
+The paper motivates ZIV with eviction-based cross-core attacks (I-A) and
+defers a full security analysis to future work (VI); this package provides
+the experiments such an analysis starts from:
+
+* prime+probe (:mod:`repro.security.primeprobe`)
+* evict+reload (:mod:`repro.security.evictreload`)
+* the relocated-access latency channel of III-C1
+  (:mod:`repro.security.latency_probe`)
+"""
+
+from repro.security.primeprobe import PrimeProbeResult, prime_probe_experiment
+from repro.security.evictreload import (
+    EvictReloadResult,
+    evict_reload_experiment,
+)
+from repro.security.latency_probe import (
+    LatencyProbeResult,
+    relocation_latency_probe,
+)
+
+__all__ = [
+    "PrimeProbeResult",
+    "prime_probe_experiment",
+    "EvictReloadResult",
+    "evict_reload_experiment",
+    "LatencyProbeResult",
+    "relocation_latency_probe",
+]

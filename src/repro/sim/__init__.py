@@ -1,0 +1,37 @@
+"""Simulation driver: traces, engine, statistics, metrics, tooling."""
+
+from repro.sim.trace import TraceRecord, CoreTrace, Workload, lockstep_stream
+from repro.sim.stats import SimStats, CoreStats
+from repro.sim.engine import Simulation, SimResult
+from repro.sim.metrics import (
+    geomean,
+    normalized_speedups,
+    speedup_summary,
+    weighted_speedup,
+)
+from repro.sim.report import compare_results, describe_result
+from repro.sim.sweep import SweepPoint, SweepRow, format_sweep, run_sweep
+from repro.sim.tracefile import load_workload, save_workload
+
+__all__ = [
+    "TraceRecord",
+    "CoreTrace",
+    "Workload",
+    "lockstep_stream",
+    "SimStats",
+    "CoreStats",
+    "Simulation",
+    "SimResult",
+    "geomean",
+    "normalized_speedups",
+    "speedup_summary",
+    "weighted_speedup",
+    "describe_result",
+    "compare_results",
+    "SweepPoint",
+    "SweepRow",
+    "run_sweep",
+    "format_sweep",
+    "save_workload",
+    "load_workload",
+]

@@ -1,0 +1,174 @@
+"""The simulation driver.
+
+Two scheduling modes:
+
+* ``"timing"`` (default) -- each core is an in-order front end: gap
+  instructions retire at the configured base CPI, then the memory access
+  blocks for its hierarchy latency.  Cores interleave by readiness (the
+  core with the smallest next-ready cycle issues next), which makes shared
+  LLC/DRAM contention order realistic.
+
+* ``"lockstep"`` -- cores interleave round-robin by access *index*,
+  ignoring latencies.  This is the canonical global stream that defines
+  the Belady MIN oracle (paper footnote 2): the interleaving must not
+  depend on the LLC policy under study, otherwise MIN is ill-defined.
+  Used for the Fig. 2 inclusion-victim counts.
+
+Each core replays its trace once ("the representative segment"); as in the
+paper, statistics cover exactly one pass of every trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.stats import SimStats
+from repro.sim.trace import Workload, interleave_records
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    Carries the statistics, the energy ledger and any scheme-specific
+    extras (e.g. the ZIV relocation-interval histogram) -- but not the
+    hierarchy itself, so results stay small enough to cache in bulk."""
+
+    stats: SimStats
+    cycles: int
+    scheme: str
+    policy: str
+    workload: str
+    energy: object = None
+    scheme_stats: dict = None
+
+    @property
+    def ipc_per_core(self) -> list[float]:
+        return [c.ipc for c in self.stats.cores]
+
+    def core_cycles(self, core: int) -> int:
+        return self.stats.cores[core].cycles
+
+
+class Simulation:
+    """Drives a workload through a :class:`CacheHierarchy`."""
+
+    def __init__(
+        self,
+        hierarchy: "CacheHierarchy",
+        workload: Workload,
+        scheduling: str = "timing",
+        llc_policy_name: Optional[str] = None,
+    ) -> None:
+        if scheduling not in ("timing", "lockstep"):
+            raise ValueError(f"unknown scheduling mode {scheduling!r}")
+        if workload.cores != hierarchy.config.cores:
+            raise ValueError(
+                f"workload has {workload.cores} cores, hierarchy expects "
+                f"{hierarchy.config.cores}"
+            )
+        self.hierarchy = hierarchy
+        self.workload = workload
+        self.scheduling = scheduling
+        self.llc_policy_name = llc_policy_name or hierarchy.llc.policy_name
+
+    def run(self) -> SimResult:
+        if self.scheduling == "timing":
+            cycles = self._run_timing()
+        else:
+            cycles = self._run_lockstep()
+        self.hierarchy.finalize_stats()
+        return SimResult(
+            stats=self.hierarchy.stats,
+            cycles=cycles,
+            scheme=self.hierarchy.scheme.name,
+            policy=self.llc_policy_name,
+            workload=self.workload.name,
+            energy=self.hierarchy.energy,
+            scheme_stats=self.hierarchy.scheme.on_stats(),
+        )
+
+    # -- timing mode ------------------------------------------------------------
+
+    def _run_timing(self) -> int:
+        h = self.hierarchy
+        base_cpi = h.config.core.base_cpi
+        stats = h.stats
+        # (ready_cycle, core, next_index) min-heap
+        heap = [(0, core, 0) for core in range(self.workload.cores)]
+        heapq.heapify(heap)
+        traces = [t.records for t in self.workload]
+        finish = [0] * self.workload.cores
+        global_pos = 0
+        while heap:
+            ready, core, idx = heapq.heappop(heap)
+            rec = traces[core][idx]
+            issue = ready + int(rec.gap * base_cpi)
+            latency = h.access(
+                core,
+                rec.addr,
+                rec.is_write,
+                rec.pc,
+                cycle=issue,
+                global_pos=global_pos,
+            )
+            global_pos += 1
+            done = issue + latency
+            cs = stats.cores[core]
+            cs.instructions += rec.gap + 1
+            if idx + 1 < len(traces[core]):
+                heapq.heappush(heap, (done, core, idx + 1))
+            else:
+                finish[core] = done
+                cs.cycles = done
+        return max(finish) if finish else 0
+
+    # -- lockstep mode -------------------------------------------------------------
+
+    def _run_lockstep(self) -> int:
+        h = self.hierarchy
+        stats = h.stats
+        pos = 0
+        for core, rec in interleave_records(self.workload):
+            h.access(
+                core,
+                rec.addr,
+                rec.is_write,
+                rec.pc,
+                cycle=pos,
+                global_pos=pos,
+            )
+            stats.cores[core].instructions += rec.gap + 1
+            pos += 1
+        for cs in stats.cores:
+            cs.cycles = pos  # lockstep mode carries no timing meaning
+        return pos
+
+
+def run_workload(
+    config,
+    workload: Workload,
+    scheme_name: str,
+    llc_policy: str = "lru",
+    scheduling: str = "timing",
+    oracle=None,
+    policy_kwargs: Optional[dict] = None,
+) -> SimResult:
+    """Convenience one-call runner: build hierarchy + scheme, simulate."""
+    from repro.hierarchy.cmp import CacheHierarchy
+    from repro.schemes import make_scheme
+
+    scheme = make_scheme(scheme_name)
+    hierarchy = CacheHierarchy(
+        config,
+        scheme,
+        llc_policy=llc_policy,
+        oracle=oracle,
+        policy_kwargs=policy_kwargs,
+    )
+    sim = Simulation(
+        hierarchy, workload, scheduling=scheduling, llc_policy_name=llc_policy
+    )
+    return sim.run()

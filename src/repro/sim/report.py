@@ -1,0 +1,63 @@
+"""Human-readable reports over simulation results."""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimResult
+from repro.sim.metrics import mix_speedup
+
+
+def describe_result(result: SimResult) -> str:
+    """Multi-line summary of one run (the CLI's ``run`` output)."""
+    s = result.stats
+    lines = [
+        f"workload      : {result.workload}",
+        f"scheme/policy : {result.scheme} / {result.policy}",
+        f"cycles        : {result.cycles}",
+        f"instructions  : {s.total_instructions}",
+        f"accesses      : {s.total_accesses}",
+        f"LLC hits/miss : {s.llc_hits} / {s.llc_misses}",
+        f"L2 misses     : {s.l2_misses}",
+        (
+            f"incl. victims : {s.inclusion_victims_llc} (LLC) + "
+            f"{s.inclusion_victims_dir} (directory)"
+        ),
+        (
+            f"relocations   : {s.relocations} "
+            f"({s.relocation_same_set} resolved in-set, "
+            f"{s.relocations_cross_bank} cross-bank)"
+        ),
+        f"DRAM reads/wr : {s.dram_reads} / {s.dram_writes}",
+    ]
+    if s.prefetches_issued:
+        lines.append(
+            f"prefetches    : {s.prefetches_issued} issued, "
+            f"{s.prefetch_useful} useful"
+        )
+    if result.energy is not None:
+        epi = result.energy.epi_pj(max(1, s.total_instructions))
+        lines.append(f"energy        : {epi:.1f} pJ/instruction")
+    return "\n".join(lines)
+
+
+def compare_results(baseline: SimResult, candidate: SimResult) -> str:
+    """Side-by-side delta report (candidate vs baseline)."""
+    b, c = baseline.stats, candidate.stats
+
+    def ratio(x, y):
+        return f"{x / y:.3f}x" if y else "n/a"
+
+    lines = [
+        f"candidate {candidate.scheme}/{candidate.policy} "
+        f"vs baseline {baseline.scheme}/{baseline.policy}",
+        f"speedup        : {mix_speedup(baseline, candidate):.3f}",
+        f"LLC misses     : {c.llc_misses} vs {b.llc_misses} "
+        f"({ratio(c.llc_misses, b.llc_misses)})",
+        f"L2 misses      : {c.l2_misses} vs {b.l2_misses} "
+        f"({ratio(c.l2_misses, b.l2_misses)})",
+        f"incl. victims  : {c.inclusion_victims_llc} vs "
+        f"{b.inclusion_victims_llc}",
+        f"relocations    : {c.relocations} vs {b.relocations}",
+        f"DRAM traffic   : {c.dram_reads + c.dram_writes} vs "
+        f"{b.dram_reads + b.dram_writes}",
+    ]
+    return "\n".join(lines)

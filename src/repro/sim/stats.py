@@ -1,0 +1,123 @@
+"""Simulation counters.
+
+Names follow the quantities the paper plots: LLC misses (Fig. 3/10/13),
+L2 misses (Fig. 4/10/13), inclusion victims (Fig. 2) split by trigger
+(LLC replacement vs. sparse-directory eviction), relocation counts and
+inter-relocation intervals (Fig. 9/18), and per-core cycles/instructions
+for the speedup figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters."""
+
+    instructions: int = 0
+    cycles: int = 0
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SimStats:
+    """System-wide counters plus per-core breakdown."""
+
+    cores: list[CoreStats] = field(default_factory=list)
+
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_fills: int = 0
+    llc_writebacks_in: int = 0  # dirty evictions received from private caches
+    llc_writebacks_out: int = 0  # dirty LLC evictions sent to memory
+    relocated_hits: int = 0  # LLC hits served through a Relocated pointer
+
+    # inclusion victims = private-cache blocks force-invalidated
+    back_invalidations_llc: int = 0  # back-inval messages from LLC evictions
+    inclusion_victims_llc: int = 0  # private blocks killed by those messages
+    back_invalidations_dir: int = 0  # from sparse-directory evictions
+    inclusion_victims_dir: int = 0
+    coherence_invalidations: int = 0  # normal MESI write-invalidations
+
+    eviction_notices: int = 0  # dataless private-eviction notices
+    directory_evictions: int = 0
+    directory_spills: int = 0  # ZeroDEV mode: entries spilled, not evicted
+
+    # ZIV machinery
+    relocations: int = 0
+    relocations_cross_bank: int = 0
+    relocations_rechained: int = 0  # re-relocation of a Relocated block
+    relocation_same_set: int = 0  # original set satisfied the property
+    relocation_fifo_peak: int = 0
+    property_hits: dict = field(default_factory=dict)  # property -> count
+
+    # comparators
+    qbs_retries: int = 0
+    qbs_failures: int = 0  # QBS exhausted candidates -> inclusion victim
+    sharp_alarms: int = 0  # SHARP fell through to random (step 3)
+
+    # prefetching (off by default; the paper's machine has no prefetcher)
+    prefetches_issued: int = 0
+    prefetch_fills: int = 0
+    prefetch_useful: int = 0  # prefetched blocks that saw a demand touch
+
+    dram_reads: int = 0
+    dram_writes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            self.cores = []
+
+    @classmethod
+    def for_cores(cls, n: int) -> "SimStats":
+        return cls(cores=[CoreStats() for _ in range(n)])
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def inclusion_victims(self) -> int:
+        return self.inclusion_victims_llc + self.inclusion_victims_dir
+
+    @property
+    def l2_misses(self) -> int:
+        return sum(c.l2_misses for c in self.cores)
+
+    @property
+    def l2_hits(self) -> int:
+        return sum(c.l2_hits for c in self.cores)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(c.accesses for c in self.cores)
+
+    def count_property_hit(self, prop: str) -> None:
+        self.property_hits[prop] = self.property_hits.get(prop, 0) + 1
+
+    def summary(self) -> dict:
+        """Flat dict of the headline counters (for printing/CSV)."""
+        return {
+            "instructions": self.total_instructions,
+            "accesses": self.total_accesses,
+            "l2_misses": self.l2_misses,
+            "llc_hits": self.llc_hits,
+            "llc_misses": self.llc_misses,
+            "inclusion_victims_llc": self.inclusion_victims_llc,
+            "inclusion_victims_dir": self.inclusion_victims_dir,
+            "relocations": self.relocations,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+        }

@@ -1,0 +1,125 @@
+"""Parameter-sweep utility.
+
+A thin, deterministic grid runner over (configuration, scheme, policy)
+combinations that returns tidy rows -- the plumbing every study in
+``examples/`` and ``benchmarks/`` otherwise reimplements.  Unlike the
+experiment modules (which mirror specific paper figures), this is the
+general-purpose API a downstream user reaches for first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.params import SystemConfig
+from repro.sim.engine import SimResult, Simulation
+from repro.sim.metrics import geomean, mix_speedup
+from repro.sim.trace import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    label: str
+    config: SystemConfig
+    scheme: str
+    policy: str = "lru"
+
+
+@dataclass
+class SweepRow:
+    """Aggregated outcome of one sweep point over all workloads."""
+
+    label: str
+    scheme: str
+    policy: str
+    speedup: float
+    speedup_min: float
+    speedup_max: float
+    llc_misses: int
+    l2_misses: int
+    inclusion_victims: int
+    relocations: int
+    results: list[SimResult]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    workloads: Sequence[Workload],
+    baseline: Optional[SweepPoint] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[SweepRow]:
+    """Run every point over every workload.
+
+    ``baseline`` defaults to the first point; per-workload speedups are
+    computed against the baseline's run of the same workload.
+    """
+    from repro.hierarchy.cmp import CacheHierarchy
+    from repro.schemes import make_scheme
+
+    if not points:
+        raise ValueError("sweep needs at least one point")
+    if not workloads:
+        raise ValueError("sweep needs at least one workload")
+    baseline = baseline or points[0]
+
+    def run_point(point: SweepPoint) -> list[SimResult]:
+        out = []
+        for wl in workloads:
+            if progress is not None:
+                progress(f"{point.label}: {wl.name}")
+            hierarchy = CacheHierarchy(
+                point.config, make_scheme(point.scheme),
+                llc_policy=point.policy,
+            )
+            out.append(
+                Simulation(
+                    hierarchy, wl, llc_policy_name=point.policy
+                ).run()
+            )
+        return out
+
+    base_runs = run_point(baseline)
+    rows = []
+    for point in points:
+        runs = (
+            base_runs
+            if point == baseline
+            else run_point(point)
+        )
+        speedups = [mix_speedup(b, r) for b, r in zip(base_runs, runs)]
+        rows.append(
+            SweepRow(
+                label=point.label,
+                scheme=point.scheme,
+                policy=point.policy,
+                speedup=geomean(speedups),
+                speedup_min=min(speedups),
+                speedup_max=max(speedups),
+                llc_misses=sum(r.stats.llc_misses for r in runs),
+                l2_misses=sum(r.stats.l2_misses for r in runs),
+                inclusion_victims=sum(
+                    r.stats.inclusion_victims_llc for r in runs
+                ),
+                relocations=sum(r.stats.relocations for r in runs),
+                results=runs,
+            )
+        )
+    return rows
+
+
+def format_sweep(rows: Iterable[SweepRow]) -> str:
+    header = (
+        f"{'point':24s} {'speedup':>8s} {'min':>6s} {'max':>6s} "
+        f"{'llc_miss':>9s} {'incl':>7s} {'reloc':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.label:24s} {r.speedup:>8.3f} {r.speedup_min:>6.3f} "
+            f"{r.speedup_max:>6.3f} {r.llc_misses:>9d} "
+            f"{r.inclusion_victims:>7d} {r.relocations:>7d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Trace containers.
+
+A *core trace* is a sequence of memory accesses annotated with the number
+of non-memory instructions since the previous access (the "gap"), the block
+address, a read/write flag, and the PC of the access (consumed by Hawkeye's
+predictor).  Traces stand in for the paper's SimPoint segments of SPEC CPU
+2017 / PARSEC / TPC-E executions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class TraceRecord:
+    """One memory access of one core."""
+
+    __slots__ = ("gap", "addr", "is_write", "pc")
+
+    def __init__(self, gap: int, addr: int, is_write: bool, pc: int) -> None:
+        self.gap = gap
+        self.addr = addr
+        self.is_write = is_write
+        self.pc = pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rw = "W" if self.is_write else "R"
+        return f"<{rw} {self.addr:#x} gap={self.gap} pc={self.pc:#x}>"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceRecord)
+            and self.gap == other.gap
+            and self.addr == other.addr
+            and self.is_write == other.is_write
+            and self.pc == other.pc
+        )
+
+
+class CoreTrace:
+    """The access stream of one core plus bookkeeping."""
+
+    def __init__(self, records: Sequence[TraceRecord], name: str = "app") -> None:
+        self.records = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, i: int) -> TraceRecord:
+        return self.records[i]
+
+    @property
+    def instructions(self) -> int:
+        """Total dynamic instructions represented (gaps + the accesses)."""
+        return sum(r.gap + 1 for r in self.records)
+
+    def footprint(self) -> int:
+        """Number of distinct blocks touched."""
+        return len({r.addr for r in self.records})
+
+
+class Workload:
+    """A multi-core workload: one trace per core."""
+
+    def __init__(self, traces: Sequence[CoreTrace], name: str = "mix") -> None:
+        if not traces:
+            raise ValueError("a workload needs at least one core trace")
+        self.traces = list(traces)
+        self.name = name
+
+    @property
+    def cores(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[CoreTrace]:
+        return iter(self.traces)
+
+    def __getitem__(self, core: int) -> CoreTrace:
+        return self.traces[core]
+
+    def total_accesses(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+    def describe(self) -> str:
+        apps = ", ".join(t.name for t in self.traces)
+        return f"{self.name}[{apps}]"
+
+
+def lockstep_stream(workload: Workload) -> list[int]:
+    """Canonical global access stream: round-robin by access index.
+
+    This is the fixed interleaving used to define the Belady MIN oracle
+    (paper footnote 2: MIN consumes the global L1 access stream, which is
+    independent of LLC policy for a given schedule).  The engine's
+    ``lockstep`` scheduling mode replays accesses in exactly this order.
+    """
+
+    streams = [t.records for t in workload]
+    out: list[int] = []
+    longest = max(len(s) for s in streams)
+    for i in range(longest):
+        for s in streams:
+            if i < len(s):
+                out.append(s[i].addr)
+    return out
+
+
+def interleave_records(
+    workload: Workload,
+) -> Iterator[tuple[int, TraceRecord]]:
+    """(core, record) pairs in the canonical lock-step order."""
+    streams = [t.records for t in workload]
+    longest = max(len(s) for s in streams)
+    for i in range(longest):
+        for core, s in enumerate(streams):
+            if i < len(s):
+                yield core, s[i]

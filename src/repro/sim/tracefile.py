@@ -1,0 +1,87 @@
+"""Trace (de)serialisation.
+
+Workloads are reproducible from their seeds, but downstream users often
+want to run the simulator on *their own* traces (e.g. converted from Pin,
+DynamoRIO or ChampSim traces, as the paper does for TPC-E).  This module
+defines a minimal gzip'd text format, one record per line:
+
+    core gap addr rw pc      (all integers; rw is 0/1; addr in blocks)
+
+with ``#``-prefixed header lines carrying the workload and per-core trace
+names.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not parse."""
+
+
+def save_workload(workload: Workload, path) -> None:
+    """Write ``workload`` to ``path`` (gzip text)."""
+    path = Path(path)
+    with gzip.open(path, "wt") as f:
+        f.write(f"# workload {workload.name}\n")
+        for core, trace in enumerate(workload):
+            f.write(f"# core {core} {trace.name}\n")
+        for core, trace in enumerate(workload):
+            for r in trace:
+                f.write(
+                    f"{core} {r.gap} {r.addr} {int(r.is_write)} {r.pc}\n"
+                )
+
+
+def load_workload(path) -> Workload:
+    """Read a workload written by :func:`save_workload` (or hand-made in
+    the same format)."""
+    path = Path(path)
+    name = path.stem
+    core_names: dict[int, str] = {}
+    records: dict[int, list[TraceRecord]] = {}
+    with gzip.open(path, "rt") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if parts and parts[0] == "workload" and len(parts) > 1:
+                    name = parts[1]
+                elif parts and parts[0] == "core" and len(parts) >= 3:
+                    core_names[int(parts[1])] = parts[2]
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: expected 5 fields, got {len(parts)}"
+                )
+            try:
+                core, gap, addr, rw, pc = (int(p) for p in parts)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: non-integer field"
+                ) from exc
+            if core < 0 or gap < 0 or addr < 0 or rw not in (0, 1):
+                raise TraceFormatError(
+                    f"{path}:{line_no}: field out of range"
+                )
+            records.setdefault(core, []).append(
+                TraceRecord(gap, addr, bool(rw), pc)
+            )
+    if not records:
+        raise TraceFormatError(f"{path}: no records")
+    cores = sorted(records)
+    if cores != list(range(len(cores))):
+        raise TraceFormatError(
+            f"{path}: core ids must be dense from 0, got {cores}"
+        )
+    traces = [
+        CoreTrace(records[c], core_names.get(c, f"core{c}")) for c in cores
+    ]
+    return Workload(traces, name=name)

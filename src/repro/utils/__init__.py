@@ -1,0 +1,15 @@
+"""Small generic helpers (bit manipulation, RNG seeding)."""
+
+from repro.utils.bitops import (
+    decoded_next_rs,
+    decode_onehot,
+    encode_onehot,
+    lowest_set_bit,
+)
+
+__all__ = [
+    "decoded_next_rs",
+    "decode_onehot",
+    "encode_onehot",
+    "lowest_set_bit",
+]

@@ -1,0 +1,83 @@
+"""Bit-manipulation primitives, including the paper's Algorithm 1.
+
+The property vector (PV) of an LLC bank is a bitmask with one bit per set.
+Algorithm 1 of the paper computes the *decoded nextRS*: a one-hot mask
+selecting the next set bit of the PV in round-robin order after the
+currently used relocation set.  The hardware uses the classic
+two's-complement trick ``x & (~x + 1)`` to isolate the lowest set bit; we
+mirror that logic exactly on Python integers (masked to the vector width)
+so that unit tests can validate it against a naive scan.
+"""
+
+from __future__ import annotations
+
+
+def lowest_set_bit(x: int) -> int:
+    """Isolate the lowest set bit of ``x`` (0 if ``x`` == 0)."""
+    return x & -x
+
+
+def encode_onehot(position: int) -> int:
+    """One-hot mask with a single bit at ``position``."""
+    if position < 0:
+        raise ValueError("position must be non-negative")
+    return 1 << position
+
+
+def decode_onehot(onehot: int) -> int:
+    """Bit position of a one-hot mask (-1 for the zero mask)."""
+    if onehot == 0:
+        return -1
+    if onehot & (onehot - 1):
+        raise ValueError(f"{onehot:#x} is not one-hot")
+    return onehot.bit_length() - 1
+
+
+def decoded_next_rs(pv: int, decoded_rs: int, width: int) -> int:
+    """Paper Algorithm 1: compute the decoded nextRS.
+
+    ``pv`` is the property vector (bit i set => set i satisfies the
+    property), ``decoded_rs`` is the one-hot mask of the current relocation
+    set (0 if none has been used yet), and ``width`` is the number of sets.
+    Returns a one-hot mask of the next eligible set in round-robin order,
+    or 0 if the PV is empty.
+
+    The round-robin wraps: if the only set bit of the PV is at or below the
+    current position, the scan wraps to the lowest set bit overall (lines
+    5-7 of Algorithm 1).
+    """
+
+    full = (1 << width) - 1
+    pv &= full
+    decoded_rs &= full
+    if pv == 0:
+        return 0
+    if decoded_rs == 0:
+        # No current RS: the mask degenerates and the lowest set bit wins.
+        return lowest_set_bit(pv)
+    # mask = 11...100...0 with the 0->1 crossover right after the current RS
+    mask = ((~decoded_rs + 1) & ~decoded_rs) & full
+    upper_pv = pv & mask
+    lower_pv = pv & ~mask & full
+    decoded_next_upper = lowest_set_bit(upper_pv)
+    decoded_next_lower = lowest_set_bit(lower_pv)
+    if decoded_next_upper == 0:
+        return decoded_next_lower
+    return decoded_next_upper
+
+
+def naive_next_rs(pv: int, current_pos: int, width: int) -> int:
+    """Reference implementation of Algorithm 1 by linear scan.
+
+    Returns the *position* of the next set bit strictly after
+    ``current_pos`` in round-robin order (wrapping), or -1 if ``pv`` is
+    empty.  Used only by tests to validate :func:`decoded_next_rs`.
+    """
+
+    if pv == 0:
+        return -1
+    for offset in range(1, width + 1):
+        pos = (current_pos + offset) % width
+        if pv & (1 << pos):
+            return pos
+    return -1

@@ -1,0 +1,115 @@
+"""Workload characterisation tooling.
+
+Answers the questions a user asks before trusting a synthetic trace as a
+stand-in for a real application: how big is the footprint relative to each
+cache level, what does the reuse-distance profile look like (the quantity
+that decides hit rates under LRU), how write-heavy is it, and how
+memory-intensive (accesses per kilo-instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import CoreTrace, Workload
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one core trace."""
+
+    name: str
+    accesses: int
+    instructions: int
+    footprint: int
+    write_ratio: float
+    apki: float  # accesses per kilo-instruction
+    distinct_pcs: int
+    reuse_distance_histogram: dict  # log2-bucketed stack distances
+    cold_fraction: float  # first-touch accesses
+
+    def reuse_fraction_within(self, capacity: int) -> float:
+        """Fraction of non-cold accesses whose LRU stack distance is below
+        ``capacity`` -- an upper bound on a ``capacity``-block fully
+        associative LRU cache's hit rate."""
+        total = sum(self.reuse_distance_histogram.values())
+        if not total:
+            return 0.0
+        within = sum(
+            n
+            for bucket, n in self.reuse_distance_histogram.items()
+            if (1 << bucket) < capacity
+        )
+        return within / total
+
+
+def reuse_distances(addrs) -> tuple[dict, int]:
+    """LRU stack distances, log2-bucketed; returns (histogram, cold count).
+
+    Uses the classic stack algorithm over a recency list with a dict
+    position index; O(n * d) worst case but fine at trace scale."""
+    stack: list[int] = []  # most recent last
+    position: dict[int, int] = {}
+    histogram: dict[int, int] = {}
+    cold = 0
+    for addr in addrs:
+        pos = position.get(addr)
+        if pos is None:
+            cold += 1
+        else:
+            distance = len(stack) - 1 - pos
+            bucket = distance.bit_length() - 1 if distance > 0 else 0
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+            stack.pop(pos)
+            for moved in range(pos, len(stack)):
+                position[stack[moved]] = moved
+        position[addr] = len(stack)
+        stack.append(addr)
+    return histogram, cold
+
+
+def profile_trace(trace: CoreTrace) -> TraceProfile:
+    """Characterise one core trace."""
+    addrs = [r.addr for r in trace]
+    histogram, cold = reuse_distances(addrs)
+    writes = sum(1 for r in trace if r.is_write)
+    instructions = trace.instructions
+    return TraceProfile(
+        name=trace.name,
+        accesses=len(trace),
+        instructions=instructions,
+        footprint=trace.footprint(),
+        write_ratio=writes / len(trace) if len(trace) else 0.0,
+        apki=1000.0 * len(trace) / instructions if instructions else 0.0,
+        distinct_pcs=len({r.pc for r in trace}),
+        reuse_distance_histogram=histogram,
+        cold_fraction=cold / len(trace) if len(trace) else 0.0,
+    )
+
+
+def profile_workload(workload: Workload) -> list[TraceProfile]:
+    return [profile_trace(t) for t in workload]
+
+
+def shared_footprint(workload: Workload) -> int:
+    """Blocks touched by at least two cores (0 for multiprogrammed)."""
+    seen: dict[int, int] = {}
+    for trace in workload:
+        for addr in {r.addr for r in trace}:
+            seen[addr] = seen.get(addr, 0) + 1
+    return sum(1 for n in seen.values() if n > 1)
+
+
+def format_profile_table(profiles: list[TraceProfile]) -> str:
+    header = (
+        f"{'trace':16s} {'accesses':>9s} {'footprint':>9s} {'APKI':>7s} "
+        f"{'writes':>7s} {'cold':>6s} {'pcs':>4s}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in profiles:
+        lines.append(
+            f"{p.name:16s} {p.accesses:>9d} {p.footprint:>9d} "
+            f"{p.apki:>7.1f} {p.write_ratio:>7.2f} {p.cold_fraction:>6.2f} "
+            f"{p.distinct_pcs:>4d}"
+        )
+    return "\n".join(lines)

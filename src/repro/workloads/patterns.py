@@ -1,0 +1,139 @@
+"""Access-pattern primitives.
+
+Each pattern generates block addresses within a region of the address
+space, parameterised by a working-set size in blocks.  The patterns are the
+building blocks of the synthetic application profiles and were chosen to
+span the regimes that drive the paper's phenomena:
+
+* ``CircularPattern`` -- the cyclic pattern of Section I-A's MIN analysis:
+  a loop over more blocks than the LLC associativity makes MIN (and
+  Hawkeye, which learns from it) victimise recently used blocks, which are
+  exactly the privately cached ones -> inclusion victims.
+* ``HotPattern`` -- a private-cache-resident working set; such applications
+  are the *victims* of other cores' inclusion victims.
+* ``StreamingPattern`` -- no reuse beyond the spatial window; generates LLC
+  pressure that evicts other cores' blocks.
+* ``RandomPattern`` -- LLC-thrashing background noise.
+* ``PointerChasePattern`` -- a permutation walk (mcf/omnetpp-like) with a
+  long reuse distance equal to the region size.
+* ``StencilPattern`` -- row sweeps with neighbour reuse (scientific codes).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class Pattern:
+    """A stateful address generator over ``size`` blocks."""
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError("pattern size must be positive")
+        self.size = size
+        self.rng = random.Random(seed)
+
+    def next_offset(self) -> int:
+        """The next block offset in [0, size)."""
+        raise NotImplementedError
+
+
+class StreamingPattern(Pattern):
+    """Sequential sweep, wrapping at the region end."""
+
+    def __init__(self, size: int, seed: int = 0, stride: int = 1) -> None:
+        super().__init__(size, seed)
+        self.stride = stride
+        self._pos = 0
+
+    def next_offset(self) -> int:
+        off = self._pos
+        self._pos = (self._pos + self.stride) % self.size
+        return off
+
+
+class CircularPattern(StreamingPattern):
+    """Alias of a wrapping sweep; named for the paper's circular access
+    pattern (B1, B2, ..., BN, B1, ...) with N above the associativity."""
+
+
+class HotPattern(Pattern):
+    """Skewed random accesses over a small, cache-resident set.
+
+    Approximates a Zipf-like distribution by drawing the minimum of two
+    uniforms, which biases toward low offsets without the cost of a true
+    Zipf sampler."""
+
+    def next_offset(self) -> int:
+        a = self.rng.randrange(self.size)
+        b = self.rng.randrange(self.size)
+        return min(a, b)
+
+
+class RandomPattern(Pattern):
+    """Uniform random over the region."""
+
+    def next_offset(self) -> int:
+        return self.rng.randrange(self.size)
+
+
+class PointerChasePattern(Pattern):
+    """Walk a random permutation cycle: every block is revisited exactly
+    once per lap, giving a reuse distance equal to the region size."""
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        super().__init__(size, seed)
+        perm = list(range(size))
+        self.rng.shuffle(perm)
+        # Build a single cycle so the walk covers the whole region.
+        self._next = {perm[i]: perm[(i + 1) % size] for i in range(size)}
+        self._pos = perm[0]
+
+    def next_offset(self) -> int:
+        off = self._pos
+        self._pos = self._next[off]
+        return off
+
+
+class StencilPattern(Pattern):
+    """Row-major sweep touching vertical neighbours, like a 2D stencil."""
+
+    def __init__(self, size: int, seed: int = 0, row: int = 16) -> None:
+        super().__init__(size, seed)
+        self.row = max(1, row)
+        self._pos = 0
+        self._phase = 0
+
+    def next_offset(self) -> int:
+        base = self._pos
+        if self._phase == 0:
+            off = base
+        elif self._phase == 1:
+            off = (base + self.row) % self.size
+        else:
+            off = (base - self.row) % self.size
+        self._phase += 1
+        if self._phase == 3:
+            self._phase = 0
+            self._pos = (self._pos + 1) % self.size
+        return off
+
+
+PATTERN_FACTORY = {
+    "streaming": StreamingPattern,
+    "circular": CircularPattern,
+    "hot": HotPattern,
+    "random": RandomPattern,
+    "chase": PointerChasePattern,
+    "stencil": StencilPattern,
+}
+
+
+def make_pattern(kind: str, size: int, seed: int = 0) -> Pattern:
+    try:
+        cls = PATTERN_FACTORY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {kind!r}; known: {sorted(PATTERN_FACTORY)}"
+        ) from None
+    return cls(size, seed)

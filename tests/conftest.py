@@ -1,0 +1,64 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hierarchy.cmp import CacheHierarchy
+from repro.params import (
+    CacheGeometry,
+    DirectoryGeometry,
+    LLCGeometry,
+    SystemConfig,
+)
+from repro.schemes import make_scheme
+
+
+def tiny_config(
+    cores: int = 2,
+    l1=(1, 2),
+    l2=(2, 4),
+    llc=(2, 4, 4),
+    dir_geom=(2, 8),
+    directory_mode: str = "mesi",
+) -> SystemConfig:
+    """A miniature CMP for fast, exhaustive integration tests."""
+    return SystemConfig(
+        cores=cores,
+        l1=CacheGeometry(sets=l1[0], ways=l1[1]),
+        l2=CacheGeometry(sets=l2[0], ways=l2[1]),
+        llc=LLCGeometry(banks=llc[0], sets_per_bank=llc[1], ways=llc[2]),
+        directory=DirectoryGeometry(sets=dir_geom[0], ways=dir_geom[1]),
+        directory_mode=directory_mode,
+    )
+
+
+def build(scheme_name: str, config=None, policy: str = "lru", **scheme_kw):
+    config = config or tiny_config()
+    scheme = make_scheme(scheme_name, **scheme_kw)
+    return CacheHierarchy(config, scheme, llc_policy=policy)
+
+
+def drive(h: CacheHierarchy, accesses, seed: int = 0):
+    """Run a list of (core, addr, is_write) or generate ``accesses`` random
+    ones; returns the hierarchy for chaining."""
+    if isinstance(accesses, int):
+        rng = random.Random(seed)
+        accesses = [
+            (
+                rng.randrange(h.config.cores),
+                rng.randrange(64),
+                rng.random() < 0.3,
+            )
+            for _ in range(accesses)
+        ]
+    for i, (core, addr, is_write) in enumerate(accesses):
+        h.access(core, addr, is_write, pc=addr & 0xF, cycle=i, global_pos=i)
+    return h
+
+
+@pytest.fixture
+def tiny():
+    return tiny_config()

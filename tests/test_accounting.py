@@ -1,0 +1,88 @@
+"""Accounting identities: counters must balance exactly.
+
+These identities hold by construction of the access flow and catch
+double-counting regressions anywhere in the hierarchy:
+
+* every access is an L1 hit or an L1 miss;
+* every L1 miss is an L2 hit or an L2 miss;
+* every (demand) L2 miss is an LLC hit or an LLC miss;
+* in an inclusive hierarchy every demand LLC miss reads memory;
+* DRAM reads = demand misses to memory + prefetch fills from memory.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import build, drive, tiny_config
+
+from repro.params import PrefetchParams
+
+SCHEMES = (
+    "inclusive",
+    "noninclusive",
+    "qbs",
+    "sharp",
+    "charonbase",
+    "tlh",
+    "eci",
+    "ziv:notinprc",
+    "ziv:likelydead",
+)
+
+
+def check_identities(h):
+    s = h.stats
+    l1_hits = sum(c.l1_hits for c in s.cores)
+    l1_misses = sum(c.l1_misses for c in s.cores)
+    l2_hits = sum(c.l2_hits for c in s.cores)
+    l2_misses = s.l2_misses
+    assert l1_hits + l1_misses == s.total_accesses
+    assert l2_hits + l2_misses == l1_misses
+    assert s.llc_hits + s.llc_misses == l2_misses
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_identities_per_scheme(scheme):
+    h = drive(build(scheme), 2500, seed=3)
+    check_identities(h)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    scheme=st.sampled_from(["inclusive", "noninclusive", "ziv:mrlikelydead"]),
+)
+def test_identities_random(seed, scheme):
+    policy = "hawkeye" if scheme == "ziv:mrlikelydead" else "lru"
+    h = drive(build(scheme, policy=policy), 600, seed=seed)
+    check_identities(h)
+
+
+def test_inclusive_demand_misses_all_read_memory():
+    h = drive(build("inclusive"), 2500, seed=3)
+    assert h.stats.dram_reads == h.stats.llc_misses
+
+
+def test_prefetch_reads_accounted_separately():
+    cfg = tiny_config(llc=(2, 8, 4)).replace(
+        prefetch=PrefetchParams(kind="nextline", degree=1)
+    )
+    h = drive(build("inclusive", cfg), 2500, seed=3)
+    check_identities(h)
+    # demand misses + prefetch memory fetches = all DRAM reads
+    assert h.stats.dram_reads >= h.stats.llc_misses
+    assert h.stats.dram_reads <= h.stats.llc_misses + h.stats.prefetch_fills
+
+
+def test_energy_access_counters_match_stats():
+    h = drive(build("inclusive"), 1500, seed=4)
+    s = h.stats
+    assert h.energy.l1_accesses == s.total_accesses
+    assert h.energy.l2_accesses == sum(c.l1_misses for c in s.cores)
+    assert h.energy.llc_tag_accesses == s.l2_misses
+    assert h.energy.dram_accesses == s.dram_reads + s.dram_writes
+
+
+def test_ziv_relocation_energy_matches_relocation_count():
+    h = drive(build("ziv:lrunotinprc"), 3000, seed=5)
+    assert h.energy.relocations == h.stats.relocations

@@ -1,0 +1,94 @@
+"""Workload characterisation tooling."""
+
+import pytest
+
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+from repro.workloads import build_trace, multithreaded_workload
+from repro.workloads.analysis import (
+    format_profile_table,
+    profile_trace,
+    profile_workload,
+    reuse_distances,
+    shared_footprint,
+)
+
+
+def trace(addrs, writes=(), name="t"):
+    return CoreTrace(
+        [TraceRecord(1, a, a in writes, a & 7) for a in addrs], name
+    )
+
+
+class TestReuseDistances:
+    def test_all_cold(self):
+        hist, cold = reuse_distances([1, 2, 3])
+        assert hist == {}
+        assert cold == 3
+
+    def test_immediate_reuse_distance_zero(self):
+        hist, cold = reuse_distances([1, 1])
+        assert hist == {0: 1}
+        assert cold == 1
+
+    def test_stack_distance_counts_distinct_blocks(self):
+        # 1 2 3 1: distance of the second 1 is 2 -> bucket log2(2) = 1
+        hist, cold = reuse_distances([1, 2, 3, 1])
+        assert hist == {1: 1}
+        assert cold == 3
+
+    def test_touching_same_block_does_not_grow_distance(self):
+        # 1 2 2 2 1: only one distinct block between the 1s
+        hist, _ = reuse_distances([1, 2, 2, 2, 1])
+        assert 0 in hist  # distance 1 -> bucket 0
+
+
+class TestProfile:
+    def test_basic_fields(self):
+        p = profile_trace(trace([1, 2, 1, 3], writes={2}))
+        assert p.accesses == 4
+        assert p.footprint == 3
+        assert p.write_ratio == 0.25
+        assert p.cold_fraction == 0.75
+        assert p.instructions == 8
+        assert p.apki == pytest.approx(500.0)
+
+    def test_reuse_fraction_within(self):
+        # tight loop over 2 blocks: every reuse fits in any capacity >= 2
+        p = profile_trace(trace([1, 2] * 50))
+        assert p.reuse_fraction_within(4) == 1.0
+        assert p.reuse_fraction_within(1) == 0.0
+
+    def test_profiles_match_generator_parameters(self):
+        from repro.workloads.profiles import get_profile
+
+        prof = get_profile("leela.2")
+        t = build_trace(prof, 3000, seed=1)
+        p = profile_trace(t)
+        assert p.footprint <= prof.footprint() + 8
+        assert abs(p.write_ratio - prof.write_ratio) < 0.05
+
+    def test_hot_profile_has_short_reuse(self):
+        hot = profile_trace(build_trace("exchange2.2", 2000, seed=1))
+        streaming = profile_trace(build_trace("lbm.2", 2000, seed=1))
+        assert hot.reuse_fraction_within(64) > 0.9
+        assert streaming.reuse_fraction_within(64) < 0.5
+
+
+class TestWorkloadLevel:
+    def test_profile_workload(self):
+        wl = Workload([trace([1, 2]), trace([3])], "w")
+        assert len(profile_workload(wl)) == 2
+
+    def test_shared_footprint_multiprogrammed_zero(self):
+        wl = Workload([trace([1, 2]), trace([10, 11])], "w")
+        assert shared_footprint(wl) == 0
+
+    def test_shared_footprint_multithreaded_positive(self):
+        wl = multithreaded_workload("applu", cores=4, n_accesses=1500)
+        assert shared_footprint(wl) > 0
+
+    def test_format_table(self):
+        wl = Workload([trace([1, 2, 1], name="demo")], "w")
+        out = format_profile_table(profile_workload(wl))
+        assert "demo" in out
+        assert "APKI" in out

@@ -1,0 +1,98 @@
+"""Algorithm 1 (decoded nextRS) and bit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    decode_onehot,
+    decoded_next_rs,
+    encode_onehot,
+    lowest_set_bit,
+    naive_next_rs,
+)
+
+
+class TestLowestSetBit:
+    def test_zero(self):
+        assert lowest_set_bit(0) == 0
+
+    def test_single_bit(self):
+        for i in range(40):
+            assert lowest_set_bit(1 << i) == 1 << i
+
+    def test_mixed(self):
+        assert lowest_set_bit(0b1011000) == 0b1000
+
+    @given(st.integers(min_value=1, max_value=2**64))
+    def test_result_is_power_of_two_dividing_input(self, x):
+        b = lowest_set_bit(x)
+        assert b & (b - 1) == 0
+        assert x & b == b
+        assert (x ^ b) < x
+
+
+class TestOneHot:
+    def test_roundtrip(self):
+        for pos in range(64):
+            assert decode_onehot(encode_onehot(pos)) == pos
+
+    def test_decode_zero(self):
+        assert decode_onehot(0) == -1
+
+    def test_decode_rejects_multi_bit(self):
+        with pytest.raises(ValueError):
+            decode_onehot(0b11)
+
+    def test_encode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_onehot(-1)
+
+
+class TestDecodedNextRS:
+    def test_empty_pv(self):
+        assert decoded_next_rs(0, encode_onehot(3), 8) == 0
+
+    def test_no_current_rs_returns_lowest(self):
+        assert decoded_next_rs(0b101000, 0, 8) == 0b1000
+
+    def test_simple_next(self):
+        # PV bits at 1, 4; current at 1 -> next is 4
+        assert decoded_next_rs(0b10010, encode_onehot(1), 8) == 0b10000
+
+    def test_wraps_around(self):
+        # PV bits at 1, 4; current at 4 -> wraps to 1
+        assert decoded_next_rs(0b10010, encode_onehot(4), 8) == 0b00010
+
+    def test_only_current_bit_set(self):
+        # Round robin with a single eligible set keeps pointing at it.
+        assert decoded_next_rs(0b1000, encode_onehot(3), 8) == 0b1000
+
+    def test_full_rotation_visits_all(self):
+        width = 16
+        pv = 0b1010101010101010
+        current = encode_onehot(1)
+        visited = []
+        for _ in range(8):
+            current = decoded_next_rs(pv, current, width)
+            visited.append(decode_onehot(current))
+        assert visited == [3, 5, 7, 9, 11, 13, 15, 1]
+        assert len(set(visited)) == 8
+
+    @given(
+        pv=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        pos=st.integers(min_value=0, max_value=31),
+    )
+    def test_matches_naive_scan(self, pv, pos):
+        """Algorithm 1's bit logic equals the reference linear scan."""
+        got = decoded_next_rs(pv, encode_onehot(pos), 32)
+        want_pos = naive_next_rs(pv, pos, 32)
+        if want_pos < 0:
+            assert got == 0
+        else:
+            assert decode_onehot(got) == want_pos
+
+    @given(pv=st.integers(min_value=1, max_value=(1 << 32) - 1))
+    def test_result_always_in_pv(self, pv):
+        got = decoded_next_rs(pv, 0, 32)
+        assert got & pv == got
+        assert got != 0

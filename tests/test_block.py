@@ -1,0 +1,77 @@
+"""CacheBlock and DirectoryEntry state transitions."""
+
+from repro.cache.block import CacheBlock, DirectoryEntry
+
+
+class TestCacheBlock:
+    def test_initial_state_invalid(self):
+        b = CacheBlock()
+        assert not b.valid
+        assert not b.dirty
+        assert not b.relocated
+        assert b.addr == -1
+
+    def test_reset_clears_everything(self):
+        b = CacheBlock()
+        b.addr = 42
+        b.valid = True
+        b.dirty = True
+        b.relocated = True
+        b.not_in_prc = True
+        b.likely_dead = True
+        b.char_tag = (1, 2)
+        b.rrpv = 7
+        b.stamp = 99
+        b.demand_reuses = 3
+        b.reset()
+        fresh = CacheBlock()
+        for attr in CacheBlock.__slots__:
+            assert getattr(b, attr) == getattr(fresh, attr), attr
+
+    def test_repr_shows_flags(self):
+        b = CacheBlock()
+        b.addr = 0x40
+        b.valid = True
+        b.dirty = True
+        assert "V" in repr(b) and "D" in repr(b)
+
+
+class TestDirectoryEntry:
+    def test_sharer_bitvector(self):
+        e = DirectoryEntry()
+        e.add_sharer(0)
+        e.add_sharer(5)
+        assert e.has_sharer(0) and e.has_sharer(5)
+        assert not e.has_sharer(3)
+        assert e.sharer_count == 2
+
+    def test_remove_sharer_clears_owner(self):
+        e = DirectoryEntry()
+        e.add_sharer(2)
+        e.owner = 2
+        e.remove_sharer(2)
+        assert e.owner == -1
+        assert e.sharers == 0
+
+    def test_remove_other_sharer_keeps_owner(self):
+        e = DirectoryEntry()
+        e.add_sharer(1)
+        e.add_sharer(2)
+        e.owner = 2
+        e.remove_sharer(1)
+        assert e.owner == 2
+
+    def test_relocation_tuple(self):
+        e = DirectoryEntry()
+        e.set_relocation(3, 7, 11)
+        assert e.relocated
+        assert (e.reloc_bank, e.reloc_set, e.reloc_way) == (3, 7, 11)
+        e.clear_relocation()
+        assert not e.relocated
+        assert e.reloc_bank == -1
+
+    def test_add_sharer_idempotent(self):
+        e = DirectoryEntry()
+        e.add_sharer(4)
+        e.add_sharer(4)
+        assert e.sharer_count == 1

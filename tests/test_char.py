@@ -1,0 +1,139 @@
+"""The adapted CHAR dead-block inference engine."""
+
+from repro.core.char import CharEngine
+from repro.hierarchy.private import PrivateEviction
+from repro.params import CHARParams
+
+
+def ev(addr=0x10, dirty=False, fill_hit=True, reuses=0):
+    return PrivateEviction(addr, dirty, fill_hit, reuses)
+
+
+def engine(**kw):
+    params = CHARParams(**kw) if kw else CHARParams(min_evictions=4)
+    return CharEngine(cores=2, banks=2, params=params)
+
+
+class TestGrouping:
+    def test_thirty_two_groups(self):
+        # prefetch(2) x fill-source(2) x reuse(4) x dirty(2)
+        e = engine()
+        assert e.n_groups == 32
+
+    def test_groups_distinguish_attributes(self):
+        from repro.hierarchy.private import PrivateEviction
+
+        e = engine()
+        groups = {
+            e.group_of(PrivateEviction(1, d, fh, r, prefetched=pf))
+            for fh in (False, True)
+            for d in (False, True)
+            for r in range(4)
+            for pf in (False, True)
+        }
+        assert len(groups) == 32
+
+    def test_reuse_saturates(self):
+        e = engine()
+        assert e.group_of(ev(reuses=3)) == e.group_of(ev(reuses=99))
+
+
+class TestInference:
+    def test_warmup_blocks_inference(self):
+        e = engine()
+        _g, dead = e.on_l2_eviction(0, ev())
+        assert not dead  # below min_evictions
+
+    def test_never_recalled_group_goes_dead(self):
+        e = engine()
+        dead = False
+        for _ in range(10):
+            _g, dead = e.on_l2_eviction(0, ev())
+        assert dead
+
+    def test_recalled_group_stays_live(self):
+        e = engine(min_evictions=4, initial_d=1)
+        for _ in range(16):
+            g, _dead = e.on_l2_eviction(0, ev())
+            e.on_recall(0, g)  # every eviction recalled
+        _g, dead = e.on_l2_eviction(0, ev())
+        assert not dead  # recall ratio 1 > tau = 1/2
+
+    def test_threshold_semantics(self):
+        """dead iff (recalls << d) < evictions."""
+        e = engine(min_evictions=1, initial_d=2)
+        state = e.core_state[0]
+        g = e.group_of(ev())
+        state.evictions[g] = 8
+        state.recalls[g] = 1  # 1<<2 = 4 < 8 -> dead
+        assert e._infer_dead(state, g)
+        state.recalls[g] = 2  # 2<<2 = 8, not < 8 -> live
+        assert not e._infer_dead(state, g)
+
+    def test_counter_halving(self):
+        e = engine(min_evictions=1, counter_halve_at=4)
+        for _ in range(4):
+            e.on_l2_eviction(0, ev())
+        g = e.group_of(ev())
+        assert e.core_state[0].evictions[g] == 2  # halved at 4
+
+    def test_per_core_state_independent(self):
+        e = engine()
+        for _ in range(10):
+            e.on_l2_eviction(0, ev())
+        g = e.group_of(ev())
+        assert e.core_state[1].evictions[g] == 0
+
+
+class TestDynamicThreshold:
+    def test_pv_empty_decrements_bank_d(self):
+        e = engine()
+        assert e.bank_state[0].d == 6
+        e.on_pv_empty(0)
+        assert e.bank_state[0].d == 5
+        assert e.bank_state[0].trbv == 0b11  # both cores armed
+
+    def test_decrement_rate_limited(self):
+        e = engine()
+        e.on_pv_empty(0)
+        e.on_pv_empty(0)  # too soon: no further decrement
+        assert e.bank_state[0].d == 5
+
+    def test_decrement_after_interval(self):
+        e = engine(decrement_interval=2, reset_interval=10**9)
+        e.on_pv_empty(0)
+        e.on_notice(0, 0)
+        e.on_notice(0, 1)
+        e.on_pv_empty(0)
+        assert e.bank_state[0].d == 4
+
+    def test_d_floor_at_min(self):
+        e = engine(decrement_interval=0, min_d=5, reset_interval=10**9)
+        e.on_pv_empty(0)
+        e.on_pv_empty(0)
+        assert e.bank_state[0].d == 5
+
+    def test_trbv_piggyback_lowers_core_d(self):
+        e = engine()
+        e.on_pv_empty(0)
+        assert e.core_state[1].d == 6
+        e.on_notice(0, 1)
+        assert e.core_state[1].d == 5
+        assert e.bank_state[0].trbv == 0b01  # core 1's bit consumed
+
+    def test_core_d_only_decreases(self):
+        e = engine()
+        e.core_state[1].d = 3
+        e.on_pv_empty(0)  # bank d -> 5
+        e.on_notice(0, 1)
+        assert e.core_state[1].d == 3  # 5 > 3: kept
+
+    def test_periodic_reset(self):
+        e = engine(reset_interval=3, min_evictions=4)
+        e.on_pv_empty(0)
+        assert e.bank_state[0].d == 5
+        for _ in range(3):
+            e.on_notice(0, 0)
+        assert e.bank_state[0].d == 6
+        assert e.core_state[0].d == 6
+        assert e.resets == 1

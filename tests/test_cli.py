@@ -1,0 +1,66 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        for cmd in (["list"], ["config"], ["figure", "table1"],
+                    ["run"], ["sidechannel"]):
+            assert p.parse_args(cmd).command == cmd[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ziv:likelydead" in out
+        assert "hawkeye" in out
+        assert "fig08_lru_perf" in out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_figure_smoke(self, capsys):
+        assert main(["figure", "table1", "--scale", "smoke"]) == 0
+        assert "scaled" in capsys.readouterr().out
+
+    def test_run_reports_stats(self, capsys):
+        assert main([
+            "run", "--workload", "leela.1", "--scheme", "ziv:notinprc",
+            "--accesses", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incl. victims : 0 (LLC)" in out
+        assert "relocations" in out
+
+    def test_run_multithreaded(self, capsys):
+        assert main([
+            "run", "--workload", "mt:vips", "--accesses", "300",
+        ]) == 0
+        assert "vips" in capsys.readouterr().out
+
+    def test_sidechannel(self, capsys):
+        assert main(["sidechannel", "--trials", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "inclusive" in out and "noninclusive" in out
+
+    def test_run_with_config_file(self, capsys, tmp_path):
+        from repro.config_io import save_config
+        from repro.params import scaled_config
+
+        path = tmp_path / "m.json"
+        save_config(scaled_config("256KB"), path)
+        assert main([
+            "run", "--workload", "leela.1", "--accesses", "300",
+            "--config", str(path),
+        ]) == 0
+        assert "cycles" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""The CMP hierarchy: access paths, coherence, notices, diagnostics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import build, drive, tiny_config
+
+
+class TestAccessPaths:
+    def test_l1_hit_latency(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        lat = h.access(0, 0x10)
+        assert lat == h.private[0].l1_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        # L1 is 1 set x 2 ways: two more fills evict 0x10 from L1
+        h.access(0, 0x20)
+        h.access(0, 0x30)
+        assert not h.private[0].in_l1(0x10)
+        assert h.private[0].in_l2(0x10)
+        lat = h.access(0, 0x10)
+        assert lat == h.private[0].l1_latency + h.private[0].l2_latency
+
+    def test_llc_hit_cheaper_than_memory(self):
+        h = build("inclusive")
+        miss_lat = h.access(0, 0x10)
+        h.private[0].invalidate(0x10)
+        h.directory.free(0x10)
+        hit_lat = h.access(0, 0x10)
+        assert hit_lat < miss_lat
+
+    def test_miss_counts(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        s = h.stats
+        assert s.llc_misses == 1
+        assert s.dram_reads == 1
+        assert s.cores[0].l1_misses == 1
+        assert s.cores[0].l2_misses == 1
+
+    def test_second_core_llc_hit(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        h.access(1, 0x10)
+        assert h.stats.llc_hits == 1
+        assert h.sharer_mask(0x10) == 0b11
+
+
+class TestCoherence:
+    def test_write_invalidates_other_sharers(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        h.access(1, 0x10)
+        h.access(0, 0x10, is_write=True)
+        assert not h.private[1].has_block(0x10)
+        assert h.stats.coherence_invalidations == 1
+        assert h.sharer_mask(0x10) == 0b01
+
+    def test_coherence_invalidations_are_not_inclusion_victims(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        h.access(1, 0x10)
+        h.access(0, 0x10, is_write=True)
+        assert h.stats.inclusion_victims_llc == 0
+
+    def test_read_downgrades_remote_dirty_copy(self):
+        h = build("inclusive")
+        h.access(0, 0x10, is_write=True)
+        h.access(1, 0x10)  # read: owner downgraded, LLC copy dirty
+        assert h.private[0].has_block(0x10)
+        b, s, w = h.llc.location(0x10)
+        assert h.llc.block(b, s, w).dirty
+        entry = h.directory.lookup(0x10)
+        assert entry.owner == -1
+        assert entry.sharers == 0b11
+
+    def test_write_upgrade_on_private_hit(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        h.access(1, 0x10)
+        # core 0 writes while holding a Shared copy: upgrade path
+        h.access(0, 0x10, is_write=True)
+        entry = h.directory.lookup(0x10)
+        assert entry.owner == 0
+        assert not h.private[1].has_block(0x10)
+
+    def test_write_miss_claims_ownership(self):
+        h = build("inclusive")
+        h.access(0, 0x10, is_write=True)
+        assert h.directory.lookup(0x10).owner == 0
+
+    def test_dirty_eviction_reaches_memory(self):
+        h = build("inclusive")
+        h.access(0, 0x10, is_write=True)
+        # spill the private caches so 0x10 leaves the core dirty
+        for a in (2, 4, 6, 8, 10):
+            h.access(0, a)
+        assert not h.private[0].has_block(0x10)
+        b, s, w = h.llc.location(0x10)
+        assert w >= 0 and h.llc.block(b, s, w).dirty
+        assert h.stats.llc_writebacks_in >= 1
+
+
+class TestNotices:
+    def test_notice_sets_not_in_prc(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        for a in (2, 4, 6, 8, 10):
+            h.access(0, a)
+        b, s, w = h.llc.location(0x10)
+        assert h.llc.block(b, s, w).not_in_prc
+
+    def test_llc_hit_clears_not_in_prc(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        for a in (2, 4, 6, 8, 10):
+            h.access(0, a)
+        h.access(0, 0x10)
+        b, s, w = h.llc.location(0x10)
+        assert not h.llc.block(b, s, w).not_in_prc
+
+    def test_notice_frees_directory_entry(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        for a in (2, 4, 6, 8, 10):
+            h.access(0, a)
+        assert h.directory.lookup(0x10) is None
+
+    def test_shared_block_keeps_entry_until_last_copy(self):
+        h = build("inclusive")
+        h.access(0, 0x10)
+        h.access(1, 0x10)
+        for a in (2, 4, 6, 8, 10):
+            h.access(0, a)  # core 0 drops 0x10
+        entry = h.directory.lookup(0x10)
+        assert entry is not None
+        assert entry.sharers == 0b10
+
+
+class TestDiagnostics:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_directory_exactness(self, seed):
+        """The sparse directory tracks exactly the privately cached blocks
+        (paper III-A: notices keep it up to date)."""
+        h = drive(build("inclusive"), 500, seed=seed)
+        assert h.directory_consistent()
+
+    def test_finalize_stats_syncs_spills(self):
+        cfg = tiny_config(dir_geom=(1, 2), directory_mode="zerodev")
+        h = drive(build("inclusive", cfg), 1000, seed=1)
+        h.finalize_stats()
+        assert h.stats.directory_spills == h.directory.spill_count
+
+    def test_energy_accumulates(self):
+        h = drive(build("inclusive"), 500, seed=1)
+        assert h.energy.l1_accesses == 500
+        assert h.energy.dram_accesses > 0
+
+
+class TestDirectoryPressure:
+    def test_dir_evictions_create_dir_victims(self):
+        cfg = tiny_config(cores=2, l2=(2, 4), llc=(2, 4, 4), dir_geom=(1, 2))
+        h = drive(build("inclusive", cfg), 3000, seed=2)
+        assert h.stats.directory_evictions > 0
+        assert h.stats.inclusion_victims_dir > 0
+        assert h.inclusion_holds()
+        assert h.directory_consistent()
+
+    def test_zerodev_mode_spills_instead(self):
+        cfg = tiny_config(cores=2, l2=(2, 4), llc=(2, 4, 4), dir_geom=(1, 2),
+                          directory_mode="zerodev")
+        h = drive(build("inclusive", cfg), 3000, seed=2)
+        assert h.stats.inclusion_victims_dir == 0
+        assert h.directory.spill_count > 0

@@ -1,0 +1,87 @@
+"""JSON configuration round-trip and validation."""
+
+import pytest
+
+from repro.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.params import ConfigError, scaled_config
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        cfg = scaled_config("512KB")
+        again = config_from_dict(config_to_dict(cfg))
+        assert again == cfg
+
+    def test_file_roundtrip(self, tmp_path):
+        cfg = scaled_config("768KB", directory_mode="zerodev")
+        path = tmp_path / "machine.json"
+        save_config(cfg, path)
+        assert load_config(path) == cfg
+
+    def test_minimal_config(self):
+        cfg = config_from_dict(
+            {
+                "cores": 2,
+                "l1": {"sets": 1, "ways": 2},
+                "l2": {"sets": 2, "ways": 4},
+                "llc": {"banks": 2, "sets_per_bank": 4, "ways": 4},
+                "directory": {"sets": 2, "ways": 8},
+            }
+        )
+        assert cfg.cores == 2
+        assert cfg.directory_mode == "mesi"  # defaults apply
+
+    def test_loaded_config_runs(self, tmp_path):
+        from repro.sim.engine import run_workload
+        from repro.workloads import homogeneous_mix
+
+        path = tmp_path / "m.json"
+        save_config(scaled_config("256KB"), path)
+        cfg = load_config(path)
+        wl = homogeneous_mix("leela.1", cores=cfg.cores, n_accesses=200)
+        r = run_workload(cfg, wl, "ziv:notinprc")
+        assert r.stats.inclusion_victims_llc == 0
+
+
+class TestValidation:
+    def base(self):
+        return config_to_dict(scaled_config("256KB"))
+
+    def test_unknown_top_level_key(self):
+        d = self.base()
+        d["l4"] = {}
+        with pytest.raises(ConfigError, match="unknown configuration keys"):
+            config_from_dict(d)
+
+    def test_unknown_section_key(self):
+        d = self.base()
+        d["l1"]["banks"] = 4
+        with pytest.raises(ConfigError, match="unknown keys in section"):
+            config_from_dict(d)
+
+    def test_section_must_be_object(self):
+        d = self.base()
+        d["l1"] = 32
+        with pytest.raises(ConfigError, match="must be an object"):
+            config_from_dict(d)
+
+    def test_semantic_validation_applies(self):
+        d = self.base()
+        d["l2"] = {"sets": 512, "ways": 8}  # aggregate L2 >= LLC
+        with pytest.raises(ConfigError, match="aggregate private"):
+            config_from_dict(d)
+
+    def test_invalid_json_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_config(p)
+
+    def test_non_object_root(self):
+        with pytest.raises(ConfigError, match="JSON object"):
+            config_from_dict([1, 2])

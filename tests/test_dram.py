@@ -1,0 +1,83 @@
+"""The event-cost DRAM model."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.dram import DRAMModel
+from repro.params import DRAMParams
+
+
+def small_params(**kw):
+    defaults = dict(channels=1, banks_per_channel=2, row_bits=2)
+    defaults.update(kw)
+    return DRAMParams(**defaults)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d = DRAMModel(small_params())
+        lat = d.access(0, cycle=0)
+        assert lat == d.params.row_miss_latency
+        assert d.row_misses == 1
+
+    def test_same_row_hit(self):
+        d = DRAMModel(small_params())
+        d.access(0, cycle=0)
+        lat = d.access(2, cycle=1000)  # same channel/bank/row (row_bits=2)
+        assert lat == d.params.row_hit_latency
+        assert d.row_hits == 1
+
+    def test_row_conflict(self):
+        d = DRAMModel(small_params())
+        p = d.params
+        d.access(0, cycle=0)
+        # same bank, different row: flip a bit above bank+row-buffer bits
+        far = 1 << (1 + p.row_bits)
+        lat = d.access(far, cycle=1000)
+        assert lat == p.row_conflict_latency
+        assert d.row_conflicts == 1
+
+
+class TestBankTiming:
+    def test_busy_bank_queues(self):
+        d = DRAMModel(small_params())
+        d.access(0, cycle=0)
+        lat = d.access(2, cycle=1)  # same bank, 1 cycle later
+        wait = d.params.bank_busy - 1
+        assert lat == wait + d.params.row_hit_latency
+        assert d.total_wait == wait
+
+    def test_different_banks_overlap(self):
+        d = DRAMModel(small_params())
+        d.access(0, cycle=0)
+        # address 1 maps to bank 1 (channels=1): no wait even at cycle 0
+        d.access(1, cycle=0)
+        assert d.total_wait == 0
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=1023), min_size=1, max_size=100
+        )
+    )
+    def test_latency_always_positive_and_monotone_bank_time(self, addrs):
+        d = DRAMModel(small_params())
+        cycle = 0
+        for a in addrs:
+            lat = d.access(a, cycle)
+            assert lat >= d.params.row_hit_latency
+            cycle += 10
+        assert d.accesses == len(addrs)
+
+
+class TestCounters:
+    def test_reads_writes_split(self):
+        d = DRAMModel(small_params())
+        d.access(0, 0)
+        d.write_back(64, 0)
+        assert d.reads == 1 and d.writes == 1
+
+    def test_row_hit_rate(self):
+        d = DRAMModel(small_params())
+        assert d.row_hit_rate() == 0.0
+        d.access(0, 0)
+        d.access(2, 1000)
+        assert 0.0 < d.row_hit_rate() < 1.0

@@ -1,0 +1,164 @@
+"""Edge cases and robustness across the stack."""
+
+import pytest
+
+from tests.conftest import build, drive, tiny_config
+
+from repro.sim.engine import Simulation, run_workload
+from repro.sim.stats import SimStats
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+
+class TestDegenerateWorkloads:
+    def test_single_access(self):
+        wl = Workload(
+            [CoreTrace([TraceRecord(0, 5, False, 0)]),
+             CoreTrace([TraceRecord(0, 9, False, 0)])],
+            "one",
+        )
+        r = run_workload(tiny_config(), wl, "inclusive")
+        assert r.stats.total_accesses == 2
+        assert r.stats.llc_misses == 2
+
+    def test_uneven_trace_lengths(self):
+        wl = Workload(
+            [
+                CoreTrace([TraceRecord(1, a, False, 0) for a in range(50)]),
+                CoreTrace([TraceRecord(1, 100, False, 0)]),
+            ],
+            "uneven",
+        )
+        r = run_workload(tiny_config(), wl, "ziv:notinprc")
+        assert r.stats.cores[0].accesses == 50
+        assert r.stats.cores[1].accesses == 1
+
+    def test_write_only_stream(self):
+        wl = Workload(
+            [
+                CoreTrace(
+                    [TraceRecord(1, a % 10, True, 1) for a in range(200)]
+                )
+                for _ in range(2)
+            ],
+            "writes",
+        )
+        # cores share addresses: heavy coherence ping-pong
+        h = build("ziv:notinprc")
+        for i in range(200):
+            h.access(i % 2, (i // 2) % 10, is_write=True, cycle=i)
+        assert h.stats.coherence_invalidations > 0
+        assert h.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()
+
+    def test_huge_addresses(self):
+        h = build("ziv:notinprc")
+        big = (1 << 45) + 12345
+        h.access(0, big)
+        h.access(0, big)
+        assert h.stats.cores[0].l1_hits == 1
+
+    def test_single_block_ping_pong(self):
+        """Two cores alternately writing one block: pure coherence."""
+        h = build("inclusive")
+        for i in range(200):
+            h.access(i % 2, 0x40, is_write=True, cycle=i)
+        assert h.stats.inclusion_victims_llc == 0
+        assert h.directory_consistent()
+
+
+class TestSameAddressReuse:
+    def test_repeated_access_stays_l1(self):
+        h = build("inclusive")
+        h.access(0, 7)
+        for _ in range(50):
+            h.access(0, 7)
+        assert h.stats.cores[0].l1_hits == 50
+        assert h.stats.llc_misses == 1
+
+    def test_read_after_write_same_core(self):
+        h = build("inclusive")
+        h.access(0, 7, is_write=True)
+        h.access(0, 7, is_write=False)
+        assert h.stats.coherence_invalidations == 0
+
+
+class TestStats:
+    def test_summary_keys(self):
+        s = SimStats.for_cores(2)
+        summary = s.summary()
+        for key in ("llc_misses", "inclusion_victims_llc", "relocations"):
+            assert key in summary
+
+    def test_count_property_hit(self):
+        s = SimStats.for_cores(1)
+        s.count_property_hit("global:notinprc")
+        s.count_property_hit("global:notinprc")
+        assert s.property_hits["global:notinprc"] == 2
+
+    def test_inclusion_victims_aggregates(self):
+        s = SimStats.for_cores(1)
+        s.inclusion_victims_llc = 3
+        s.inclusion_victims_dir = 4
+        assert s.inclusion_victims == 7
+
+    def test_core_ipc(self):
+        s = SimStats.for_cores(1)
+        s.cores[0].instructions = 100
+        s.cores[0].cycles = 50
+        assert s.cores[0].ipc == 2.0
+        s.cores[0].cycles = 0
+        assert s.cores[0].ipc == 0.0
+
+
+class TestSchemesUnderHawkeye:
+    """The comparators must keep their invariants under the learning
+    policy too (the paper pairs QBS/SHARP with both baselines)."""
+
+    @pytest.mark.parametrize("scheme", ["qbs", "sharp", "inclusive"])
+    def test_inclusion_holds(self, scheme):
+        h = drive(build(scheme, policy="hawkeye"), 2500, seed=5)
+        assert h.inclusion_holds()
+        assert h.directory_consistent()
+
+    def test_noninclusive_hawkeye_runs(self):
+        h = drive(build("noninclusive", policy="hawkeye"), 2500, seed=5)
+        assert h.stats.back_invalidations_llc == 0
+
+
+class TestLatencyAccounting:
+    def test_latency_composition_is_monotone(self):
+        """l1 < l1+l2 < llc-hit < memory-miss for a fresh hierarchy."""
+        h = build("inclusive")
+        miss = h.access(0, 0x10)
+        l1 = h.access(0, 0x10)
+        h2 = build("inclusive")
+        h2.access(0, 0x10)
+        h2.private[0].invalidate(0x10)
+        h2.directory.free(0x10)
+        llc_hit = h2.access(0, 0x10)
+        assert l1 < llc_hit < miss
+
+    def test_relocated_access_pays_penalty(self):
+        """An access served through a relocation pointer costs more than a
+        plain LLC hit by exactly the configured penalty."""
+        cfg = tiny_config()
+        h = build("ziv:notinprc", cfg)
+        # craft: fill a block, relocate it by pressure, then access from
+        # the second core (private miss -> relocated hit)
+        import random
+
+        rng = random.Random(1)
+        for i in range(3000):
+            h.access(0, rng.randrange(12) * 2, cycle=i)
+        relocated = [
+            e for e in h.directory.iter_valid() if e.relocated
+        ]
+        if relocated:
+            entry = relocated[0]
+            lat = h.access(1, entry.addr, cycle=9999)
+            h3 = build("inclusive", tiny_config())
+            h3.access(0, 0x20)
+            h3.private[0].invalidate(0x20)
+            h3.directory.free(0x20)
+            plain = h3.access(0, 0x20)
+            assert lat >= plain

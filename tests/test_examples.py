@@ -1,0 +1,56 @@
+"""The example scripts must keep running (guard against bit-rot).
+
+Each example is executed as a subprocess with reduced workload arguments
+where it accepts them; assertions check the narrative output markers, not
+numbers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "zero LLC-replacement inclusion victims" in out
+    assert "ziv:mrlikelydead/hawkeye" in out
+
+
+def test_workload_anatomy():
+    out = run_example("workload_anatomy.py")
+    assert "fits L2" in out
+    assert "xalancbmk.2" in out
+
+
+def test_side_channel():
+    out = run_example("side_channel.py", "8")
+    assert "LEAKS" in out  # the inclusive LLC
+    assert "blind" in out  # ZIV / non-inclusive
+    assert "Relocated-access latency channel" in out
+
+
+def test_multiprogrammed_scaling():
+    out = run_example("multiprogrammed_scaling.py", "2", "600")
+    assert "ZIV-MRLikelyDead" in out
+    assert "256KB" in out
+
+
+def test_multithreaded_server():
+    out = run_example("multithreaded_server.py", "600")
+    assert "tpce(16c)" in out
+    assert "canneal" in out

@@ -1,0 +1,102 @@
+"""Experiment modules produce well-formed figure rows at smoke scale.
+
+These are plumbing tests: every figure module must run end-to-end and
+yield the row structure its bench prints.  The heavyweight figures reuse
+the process-wide simulation cache, so the whole file stays fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    SCALES,
+    FigureResult,
+    clear_caches,
+    get_scale,
+    run_figure,
+)
+
+# Figures grouped by how heavy they are at smoke scale.
+LIGHT = (
+    "table1",
+    "fig01_motivation",
+    "fig03_llc_misses",
+    "fig04_l2_misses",
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("smoke", "quick", "standard", "full"):
+            assert name in SCALES
+
+    def test_get_scale_default_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale(None) == SCALES["smoke"]
+
+    def test_get_scale_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_run_figure_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99_nonexistent")
+
+
+class TestFigureResult:
+    def test_format_table(self):
+        f = FigureResult("F", "t", ["a", "b"])
+        f.add("x", 1.5)
+        out = f.format_table()
+        assert "x" in out and "1.500" in out
+
+    def test_row_map(self):
+        f = FigureResult("F", "t", ["a", "b", "c"])
+        f.add("k1", "k2", 3)
+        assert f.row_map(2) == {("k1", "k2"): (3,)}
+
+
+@pytest.mark.parametrize("figure", LIGHT)
+def test_light_figures_run(figure):
+    result = run_figure(figure, "smoke")
+    assert isinstance(result, FigureResult)
+    assert result.rows
+    assert all(len(r) == len(result.columns) for r in result.rows)
+
+
+def test_fig02_inclusion_victims_smoke():
+    result = run_figure("fig02_inclusion_victims", "smoke")
+    rows = result.row_map(2)
+    # the I-LRU 256KB cell is the normalisation basis
+    assert rows[("256KB", "I-LRU")][0] == pytest.approx(1.0)
+
+
+def test_fig08_has_all_schemes():
+    result = run_figure("fig08_lru_perf", "smoke")
+    schemes = {r[1] for r in result.rows}
+    assert "ZIV-LikelyDead" in schemes and "QBS" in schemes
+    # every ZIV row reports zero inclusion victims
+    for row in result.rows:
+        if row[1].startswith("ZIV"):
+            assert row[5] == 0
+
+
+def test_fig18_cdf_monotone():
+    result = run_figure("fig18_reloc_intervals", "smoke")
+    by_design = {}
+    for design, bucket, frac in result.rows:
+        by_design.setdefault(design, []).append(frac)
+    for fracs in by_design.values():
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+
+def test_fig19_energy_rows():
+    result = run_figure("fig19_energy", "smoke")
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row[1] >= 0.0  # relocation EPI is non-negative
+
+
+def test_all_figures_listed():
+    assert len(ALL_FIGURES) == 17

@@ -1,0 +1,104 @@
+"""A scripted re-enactment of the paper's Figure 5 functional flow.
+
+Figure 5 walks one relocation through the ZIV LLC:
+
+1. an LLC fill to address A1 allocates a directory entry and selects
+   victim A2 in the target set;
+2. A2 has privately cached copies, so instead of back-invalidating, a
+   relocation set RS containing a NotInPrC block A3 is found;
+3. A3 is evicted, A2 moves into its place in the Relocated state, and
+   A2's directory entry E2 records the new <bank, set, way>;
+4. later accesses to A2 are served through E2; when A2's last private
+   copy is evicted, the relocated block dies (III-C2).
+
+This test drives exactly that scenario through the real hierarchy and
+checks every intermediate state, including the eviction notices.
+"""
+
+from tests.conftest import build, tiny_config
+
+
+def llc_set_addrs(cfg, bank, set_idx, count, base_tag=0):
+    """Distinct block addresses mapping to (bank, set) of the LLC."""
+    stride = cfg.llc.banks * cfg.llc.sets_per_bank
+    bank_bits = (cfg.llc.banks - 1).bit_length()
+    base = (set_idx << bank_bits) | bank
+    return [base + (base_tag + k) * stride for k in range(count)]
+
+
+def flush_core(h, core, base, count=5):
+    """Stream ``count`` bank-1 blocks through a core's tiny L1/L2 so its
+    previous contents leave via eviction notices."""
+    cycle = 0
+    for k in range(count):
+        h.access(core, base + 2 * k + 1, cycle=cycle)  # odd => bank 1
+        cycle += 1
+
+
+def test_figure5_flow():
+    # Small machine: 2 cores, LLC 2 banks x 2 sets x 3 ways; per-core
+    # private capacity is 5 blocks (L1 2 + L2 3).
+    cfg = tiny_config(cores=2, l1=(1, 2), l2=(1, 3), llc=(2, 2, 3))
+    h = build("ziv:notinprc", cfg)
+
+    target = llc_set_addrs(cfg, bank=0, set_idx=0, count=4)
+    a2, t1, t2, a1 = target  # a2: victim-to-relocate; a1: triggering fill
+    rs = llc_set_addrs(cfg, bank=0, set_idx=1, count=3, base_tag=50)
+    a3 = rs[0]  # the LRU NotInPrC block of the relocation set
+
+    # -- Stage 0: core 1 populates the relocation set (bank 0, set 1),
+    # then flushes its private caches; the eviction notices flip every
+    # block of the set to NotInPrC.
+    for addr in rs:
+        h.access(1, addr)
+    flush_core(h, 1, base=0x4000)
+    for addr in rs:
+        assert not h.privately_cached(addr)
+        b, s, w = h.llc.location(addr)
+        assert w >= 0 and h.llc.block(b, s, w).not_in_prc
+    assert h.scheme.tracker.satisfies(0, 1, "notinprc")
+
+    # -- Stage 1: fill the target set with privately cached blocks; A2
+    # (core 0's) is the LRU block.
+    h.access(0, a2)
+    h.access(1, t1)
+    h.access(1, t2)
+    for addr in (a2, t1, t2):
+        assert h.privately_cached(addr)
+    assert not h.scheme.tracker.satisfies(0, 0, "invalid")
+    assert not h.scheme.tracker.satisfies(0, 0, "notinprc")
+
+    # -- Stage 2: the fill to A1. The baseline victim A2 is privately
+    # cached, so the ZIV LLC relocates it into set 1, evicting A3 (the
+    # NotInPrC block closest to the LRU position) -- no back-invalidation.
+    victims_before = h.stats.inclusion_victims_llc
+    relocations_before = h.stats.relocations
+    h.access(0, a1)
+    assert h.stats.inclusion_victims_llc == victims_before
+    assert h.stats.relocations == relocations_before + 1
+
+    e2 = h.directory.lookup(a2)
+    assert e2 is not None and e2.relocated
+    assert (e2.reloc_bank, e2.reloc_set) == (0, 1)
+    blk = h.llc.block(e2.reloc_bank, e2.reloc_set, e2.reloc_way)
+    assert blk.relocated and blk.addr == a2
+    assert h.llc.probe(a2) < 0  # invisible to a home-set probe
+    assert h.llc.find_anywhere(a3) is None  # A3 left the LLC
+    assert h.private[0].has_block(a2)  # the private copy survived
+    assert h.inclusion_holds()
+
+    # -- Stage 3: a new sharer (core 1) reaches A2 through E2's pointer.
+    hits_before = h.stats.relocated_hits
+    h.access(1, a2)
+    assert h.stats.relocated_hits == hits_before + 1
+    assert h.directory.lookup(a2).has_sharer(1)
+
+    # -- Stage 4: when the last private copy of A2 leaves, the relocated
+    # block is invalidated: its life ends with its private copies.
+    flush_core(h, 0, base=0x8000)
+    flush_core(h, 1, base=0x9000)
+    assert not h.privately_cached(a2)
+    assert h.directory.lookup(a2) is None
+    assert h.llc.find_anywhere(a2) is None
+    assert h.inclusion_holds()
+    assert h.directory_consistent()

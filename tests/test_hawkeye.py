@@ -1,0 +1,159 @@
+"""Hawkeye: predictor, OPTgen sampler, insertion/aging/eviction behaviour."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.test_belady import brute_force_optimal_hits
+
+from repro.cache.replacement.hawkeye import (
+    HawkeyePolicy,
+    HawkeyePredictor,
+    _SampledSet,
+)
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+
+
+class TestPredictor:
+    def test_initially_friendly(self):
+        p = HawkeyePredictor(entries=64)
+        assert p.is_friendly(0x1234)
+
+    def test_training_down_makes_averse(self):
+        p = HawkeyePredictor(entries=64)
+        for _ in range(8):
+            p.train(0x42, opt_hit=False)
+        assert not p.is_friendly(0x42)
+
+    def test_training_up_saturates(self):
+        p = HawkeyePredictor(entries=64)
+        for _ in range(20):
+            p.train(0x42, opt_hit=True)
+        assert p.is_friendly(0x42)
+        p.train(0x42, opt_hit=False)
+        assert p.is_friendly(0x42)  # one miss can't flip a saturated PC
+
+    def test_detrain(self):
+        p = HawkeyePredictor(entries=64)
+        for _ in range(8):
+            p.detrain(0x77)
+        assert not p.is_friendly(0x77)
+
+    def test_entries_must_be_pow2(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HawkeyePredictor(entries=100)
+
+
+class TestOPTgen:
+    def test_reuse_within_capacity_is_hit(self):
+        s = _SampledSet(window=64)
+        assert s.access(1, 0xA, capacity=2) is None  # compulsory
+        assert s.access(2, 0xB, capacity=2) is None
+        out = s.access(1, 0xC, capacity=2)
+        assert out == (0xA, True)
+
+    def test_overloaded_interval_is_miss(self):
+        s = _SampledSet(window=64)
+        cap = 1
+        s.access(1, 0xA, cap)
+        s.access(2, 0xB, cap)
+        # interval of 2 covers a quantum already at capacity after 2's hit
+        assert s.access(2, 0xB2, cap) == (0xB, True)
+        assert s.access(1, 0xA2, cap)[1] is False
+
+    def test_window_compaction_preserves_recent(self):
+        s = _SampledSet(window=8)
+        for i in range(64):
+            s.access(i % 4, 0x1, capacity=4)
+        assert len(s.occ) <= 16
+
+    @settings(max_examples=50)
+    @given(
+        stream=st.lists(
+            st.integers(min_value=0, max_value=5), min_size=2, max_size=40
+        )
+    )
+    def test_optgen_hits_never_exceed_belady(self, stream):
+        """OPTgen must not beat the bypass-allowed optimum (OPTgen models
+        OPT with bypass: never-reused fills occupy no space)."""
+        cap = 2
+        s = _SampledSet(window=256)
+        optgen_hits = 0
+        for addr in stream:
+            out = s.access(addr, 0x1, cap)
+            if out is not None and out[1]:
+                optgen_hits += 1
+        assert optgen_hits <= brute_force_optimal_hits(
+            cap, tuple(stream), allow_bypass=True
+        )
+
+
+class TestPolicy:
+    def make(self, sets=8, ways=4):
+        policy = HawkeyePolicy(sample_every=1, predictor_entries=64)
+        cache = SetAssociativeCache(sets, ways, policy)
+        return cache, policy
+
+    def test_friendly_insert_rrpv_zero(self):
+        cache, policy = self.make()
+        cache.install(0, 0, 0, AccessContext(pc=0x10))
+        assert cache.blocks[0][0].rrpv == 0
+        assert cache.blocks[0][0].friendly
+
+    def test_averse_insert_rrpv_max(self):
+        cache, policy = self.make()
+        for _ in range(8):
+            policy.predictor.train(0x10, opt_hit=False)
+        cache.install(0, 0, 0, AccessContext(pc=0x10))
+        assert cache.blocks[0][0].rrpv == policy.max_rrpv
+
+    def test_friendly_fill_ages_others(self):
+        cache, policy = self.make(sets=1, ways=3)
+        cache.install(0, 0, 0, AccessContext(pc=1))
+        r0_before = cache.blocks[0][0].rrpv
+        cache.install(0, 1, 8, AccessContext(pc=2))
+        assert cache.blocks[0][0].rrpv == r0_before + 1
+
+    def test_victim_prefers_averse(self):
+        cache, policy = self.make(sets=1, ways=2)
+        cache.install(0, 0, 0, AccessContext(pc=1))
+        for _ in range(8):
+            policy.predictor.train(0x66, opt_hit=False)
+        cache.install(0, 1, 8, AccessContext(pc=0x66))
+        way = policy.victim(0, AccessContext())
+        assert cache.blocks[0][way].addr == 8
+
+    def test_evicting_friendly_detrains(self):
+        cache, policy = self.make(sets=1, ways=1)
+        cache.install(0, 0, 0, AccessContext(pc=0x20))
+        before = policy.predictor.table[
+            policy.predictor.mask & 0  # placeholder, recompute below
+        ]
+        from repro.cache.replacement.hawkeye import _hash_pc
+
+        idx = _hash_pc(0x20, policy.predictor.mask)
+        before = policy.predictor.table[idx]
+        cache.evict_way(0, 0, AccessContext())
+        assert policy.predictor.table[idx] == max(0, before - 1)
+
+    def test_relocation_fill_does_not_observe(self):
+        """install_relocated must not add a sampler observation."""
+        from repro.cache.block import CacheBlock
+
+        cache, policy = self.make(sets=4, ways=2)
+        cache.install(0, 0, 0, AccessContext(pc=1))
+        sampler = policy._samples[0]
+        clock_before = sampler.clock
+        src = CacheBlock()
+        src.addr = 1  # maps to set 1; host it in set 0
+        src.valid = True
+        src.last_pc = 1
+        cache.install_relocated(0, 1, src, AccessContext(pc=99))
+        assert policy._samples[0].clock == clock_before
+
+    def test_only_sampled_sets_have_state(self):
+        policy = HawkeyePolicy(sample_every=4, predictor_entries=64)
+        cache = SetAssociativeCache(8, 2, policy)
+        for s in range(8):
+            cache.install(s, 0, s, AccessContext(pc=5))
+        assert set(policy._samples) <= {0, 4}

@@ -1,0 +1,101 @@
+"""Mesh and flat interconnect models."""
+
+import dataclasses
+
+import pytest
+
+from tests.conftest import tiny_config
+
+from repro.hierarchy.interconnect import (
+    FlatInterconnect,
+    MeshInterconnect,
+    make_interconnect,
+)
+from repro.params import ConfigError, CoreParams
+
+
+class TestMesh:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshInterconnect(cores=0, banks=4)
+
+    def test_symmetry_of_hops(self):
+        m = MeshInterconnect(cores=8, banks=8)
+        assert m._hops(0, 9) == m._hops(9, 0)
+
+    def test_latency_grows_with_distance(self):
+        m = MeshInterconnect(cores=8, banks=8)
+        # core 0 at (0,0); banks at nodes 8..15; the farthest bank must
+        # cost at least as much as the nearest
+        lats = [m.latency(0, b) for b in range(8)]
+        assert max(lats) > min(lats)
+
+    def test_triangle_inequality_ish(self):
+        """Manhattan distance: one-hop latency is the minimum non-local
+        latency and everything is a multiple of hop cost."""
+        m = MeshInterconnect(cores=4, banks=4)
+        step = m.router_delay + m.link_delay
+        for core in range(4):
+            for bank in range(4):
+                lat = m.latency(core, bank)
+                assert lat == m.router_delay or lat % step == 0
+
+    def test_average_and_max(self):
+        m = MeshInterconnect(cores=8, banks=8)
+        assert m.average_latency() <= m.max_latency()
+
+    def test_grid_is_near_square(self):
+        m = MeshInterconnect(cores=8, banks=8)
+        assert m.width == 4  # 16 nodes -> 4x4
+
+
+class TestFlat:
+    def test_constant(self):
+        f = FlatInterconnect(8)
+        assert f.latency(0, 0) == f.latency(3, 7) == 8
+        assert f.average_latency() == 8.0
+        assert f.max_latency() == 8
+
+
+class TestFactoryAndIntegration:
+    def test_factory_flat_default(self):
+        icn = make_interconnect(CoreParams(), cores=8, banks=8)
+        assert isinstance(icn, FlatInterconnect)
+
+    def test_factory_mesh(self):
+        params = CoreParams(interconnect_kind="mesh")
+        icn = make_interconnect(params, cores=8, banks=8)
+        assert isinstance(icn, MeshInterconnect)
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigError):
+            CoreParams(interconnect_kind="torus")
+
+    def test_mesh_changes_llc_latency_per_bank(self):
+        from tests.conftest import build
+
+        cfg = tiny_config()
+        cfg = cfg.replace(
+            core=dataclasses.replace(cfg.core, interconnect_kind="mesh")
+        )
+        h = build("inclusive", cfg)
+        # miss to bank 0 vs bank 1 can differ by hop count
+        lat0 = h.access(0, 0)  # bank 0
+        lat1 = h.access(0, 1)  # bank 1
+        m = h.interconnect
+        expected_delta = 2 * (m.latency(0, 1) - m.latency(0, 0))
+        # both misses, same DRAM state per bank -> pure interconnect delta
+        assert abs((lat1 - lat0) - expected_delta) <= max(
+            h.dram.params.row_conflict_latency, 1
+        )
+
+    def test_mesh_run_end_to_end(self):
+        from tests.conftest import build, drive
+
+        cfg = tiny_config()
+        cfg = cfg.replace(
+            core=dataclasses.replace(cfg.core, interconnect_kind="mesh")
+        )
+        h = drive(build("ziv:notinprc", cfg), 1500, seed=2)
+        assert h.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()

@@ -1,0 +1,98 @@
+"""The banked LLC wrapper."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.set_assoc import AccessContext
+from repro.hierarchy.llc import LastLevelCache
+from repro.params import LLCGeometry
+
+GEOM = LLCGeometry(banks=4, sets_per_bank=8, ways=2)
+
+
+def make(policy="lru", **kw):
+    return LastLevelCache(GEOM, policy, **kw)
+
+
+class TestAddressing:
+    def test_bank_and_set_consistent_with_geometry(self):
+        llc = make()
+        for addr in (0, 5, 123, 4096 + 17):
+            assert llc.bank_of(addr) == GEOM.bank_index(addr)
+            assert llc.set_of(addr) == GEOM.set_index(addr)
+
+    def test_bank_set_assoc_uses_shifted_index(self):
+        llc = make()
+        addr = 0b101100  # bank = 0b00, set = 0b1011
+        bank = llc.bank_of(addr)
+        assert llc.banks[bank].set_index(addr) == llc.set_of(addr)
+
+    def test_consecutive_addrs_stripe_over_banks(self):
+        llc = make()
+        banks = [llc.bank_of(a) for a in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestResidency:
+    def fill(self, llc, addr):
+        bank, set_idx = llc.bank_of(addr), llc.set_of(addr)
+        way = llc.banks[bank].find_invalid_way(set_idx)
+        return llc.banks[bank].install(set_idx, way, addr, AccessContext())
+
+    def test_location_and_probe(self):
+        llc = make()
+        self.fill(llc, 77)
+        bank, set_idx, way = llc.location(77)
+        assert way >= 0
+        assert llc.block(bank, set_idx, way).addr == 77
+        assert llc.probe(77) == way
+        assert llc.probe(78) < 0
+
+    def test_relocated_copy_invisible_to_probe_but_findable(self):
+        llc = make()
+        src = CacheBlock()
+        src.addr = 77
+        src.valid = True
+        host_bank, host_set = 2, 5
+        llc.banks[host_bank].install_relocated(
+            host_set, 0, src, AccessContext()
+        )
+        assert llc.probe(77) < 0
+        assert llc.find_anywhere(77) == (host_bank, host_set, 0)
+
+    def test_find_anywhere_absent(self):
+        assert make().find_anywhere(99) is None
+
+    def test_resident_addrs_and_occupancy(self):
+        llc = make()
+        for a in (1, 2, 3, 64):
+            self.fill(llc, a)
+        assert llc.resident_addrs() == {1, 2, 3, 64}
+        assert llc.occupancy() == 4
+        assert llc.blocks_total == GEOM.blocks
+
+
+class TestPolicies:
+    def test_hawkeye_predictor_shared_across_banks(self):
+        llc = make(policy="hawkeye")
+        predictors = {id(b.policy.predictor) for b in llc.banks}
+        assert len(predictors) == 1
+        assert llc.hawkeye_predictor is not None
+
+    def test_belady_requires_oracle(self):
+        with pytest.raises(ValueError):
+            make(policy="belady")
+
+    def test_belady_with_oracle(self):
+        from repro.cache.replacement import NextUseOracle
+
+        llc = make(policy="belady", oracle=NextUseOracle([1, 2, 1]))
+        assert llc.banks[0].policy.oracle is llc.banks[1].policy.oracle
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make(policy="mockingjay")
+
+    def test_policy_kwargs_forwarded(self):
+        llc = make(policy="srrip", policy_kwargs={"rrpv_bits": 2})
+        assert llc.banks[0].policy.max_rrpv == 3

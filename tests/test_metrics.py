@@ -1,0 +1,87 @@
+"""Speedup metrics and normalisation."""
+
+import pytest
+
+from repro.sim.engine import SimResult
+from repro.sim.metrics import (
+    geomean,
+    mix_speedup,
+    normalized_counts,
+    normalized_speedups,
+    per_core_speedups,
+    speedup_summary,
+    weighted_speedup,
+)
+from repro.sim.stats import SimStats
+
+
+def result(core_cycles, core_instructions=None, llc_misses=0):
+    stats = SimStats.for_cores(len(core_cycles))
+    for cs, cyc in zip(stats.cores, core_cycles):
+        cs.cycles = cyc
+        cs.instructions = 1000
+    if core_instructions:
+        for cs, inst in zip(stats.cores, core_instructions):
+            cs.instructions = inst
+    stats.llc_misses = llc_misses
+    return SimResult(stats=stats, cycles=max(core_cycles), scheme="s",
+                     policy="p", workload="w")
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+
+class TestSpeedups:
+    def test_per_core(self):
+        base = result([1000, 2000])
+        cand = result([500, 2000])
+        assert per_core_speedups(base, cand) == [2.0, 1.0]
+
+    def test_mix_speedup_is_geomean(self):
+        base = result([1000, 1000])
+        cand = result([500, 2000])
+        assert mix_speedup(base, cand) == pytest.approx(1.0)
+
+    def test_weighted_speedup(self):
+        base = result([1000, 1000])
+        cand = result([500, 1000])
+        assert weighted_speedup(base, cand) == pytest.approx(3.0)
+
+    def test_normalized_speedups_pairing(self):
+        bases = [result([100]), result([200])]
+        cands = [result([50]), result([400])]
+        assert normalized_speedups(bases, cands) == [2.0, 0.5]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_speedups([result([1])], [])
+
+    def test_summary(self):
+        s = speedup_summary([1.0, 2.0, 4.0])
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_summary_empty(self):
+        assert speedup_summary([])["mean"] == 0.0
+
+
+class TestNormalizedCounts:
+    def test_llc_misses_ratio(self):
+        bases = [result([1], llc_misses=100)]
+        cands = [result([1], llc_misses=60)]
+        assert normalized_counts(bases, cands, "llc_misses") == 0.6
+
+    def test_inclusion_victims_counter(self):
+        b = result([1])
+        b.stats.inclusion_victims_llc = 10
+        c = result([1])
+        c.stats.inclusion_victims_llc = 5
+        assert normalized_counts([b], [c], "inclusion_victims") == 0.5

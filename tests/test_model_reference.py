@@ -1,0 +1,146 @@
+"""Model-based cross-check: the full hierarchy against an independent
+functional reference.
+
+The reference model is a deliberately naive reimplementation -- plain
+dicts, recency lists, no banks, no directory -- of a single core's
+L1/L2/LLC *content* under LRU with an inclusive LLC.  For single-core
+workloads (no coherence, no sharing), the production hierarchy must agree
+with it exactly on every hit/miss outcome.  Hypothesis drives both models
+with random access streams.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import build, tiny_config
+
+
+class _RefCache:
+    """Naive LRU set-associative cache keyed by (set, addr)."""
+
+    def __init__(self, sets, ways, shift=0):
+        self.sets = sets
+        self.ways = ways
+        self.shift = shift
+        self.data = [OrderedDict() for _ in range(sets)]
+
+    def set_of(self, addr):
+        return (addr >> self.shift) & (self.sets - 1)
+
+    def contains(self, addr):
+        return addr in self.data[self.set_of(addr)]
+
+    def touch(self, addr):
+        s = self.data[self.set_of(addr)]
+        s.move_to_end(addr)
+
+    def fill(self, addr):
+        """Insert; returns the evicted address or None."""
+        s = self.data[self.set_of(addr)]
+        victim = None
+        if len(s) >= self.ways:
+            victim, _ = s.popitem(last=False)
+        s[addr] = True
+        return victim
+
+    def invalidate(self, addr):
+        self.data[self.set_of(addr)].pop(addr, None)
+
+
+class _RefHierarchy:
+    """Single-core inclusive LRU hierarchy, contents only."""
+
+    def __init__(self, cfg):
+        self.l1 = _RefCache(cfg.l1.sets, cfg.l1.ways)
+        self.l2 = _RefCache(cfg.l2.sets, cfg.l2.ways)
+        bank_shift = (cfg.llc.banks - 1).bit_length()
+        # model the banked LLC as per-bank reference caches
+        self.llc = [
+            _RefCache(cfg.llc.sets_per_bank, cfg.llc.ways, shift=bank_shift)
+            for _ in range(cfg.llc.banks)
+        ]
+        self.banks = cfg.llc.banks
+
+    def _llc_of(self, addr):
+        return self.llc[addr & (self.banks - 1)]
+
+    def access(self, addr):
+        """Returns the level that served the access: 1, 2, 3 or 0 (mem)."""
+        if self.l1.contains(addr):
+            self.l1.touch(addr)
+            return 1
+        if self.l2.contains(addr):
+            self.l2.touch(addr)
+            self._fill_l1(addr)
+            return 2
+        llc = self._llc_of(addr)
+        if llc.contains(addr):
+            llc.touch(addr)
+            self._fill_private(addr)
+            return 3
+        victim = llc.fill(addr)
+        if victim is not None:
+            # inclusive back-invalidation
+            self.l1.invalidate(victim)
+            self.l2.invalidate(victim)
+        self._fill_private(addr)
+        return 0
+
+    def _fill_private(self, addr):
+        self.l2.fill(addr)
+        self._fill_l1(addr)
+
+    def _fill_l1(self, addr):
+        if not self.l1.contains(addr):
+            self.l1.fill(addr)
+
+
+def _outcome(h, core, addr):
+    """Which level served the access in the production hierarchy."""
+    s = h.stats.cores[core]
+    before = (s.l1_hits, s.l2_hits, h.stats.llc_hits, h.stats.llc_misses)
+    h.access(core, addr)
+    after = (s.l1_hits, s.l2_hits, h.stats.llc_hits, h.stats.llc_misses)
+    for level, (b, a) in enumerate(zip(before, after), start=1):
+        if a > b:
+            return level if level < 4 else 0
+    raise AssertionError("access produced no counter change")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=1, max_size=300
+    )
+)
+def test_single_core_inclusive_lru_matches_reference(addrs):
+    """Every access must be served from the same level in both models."""
+    cfg = tiny_config(cores=1)
+    h = build("inclusive", cfg)
+    ref = _RefHierarchy(cfg)
+    for i, addr in enumerate(addrs):
+        got = _outcome(h, 0, addr)
+        want = ref.access(addr)
+        assert got == want, f"access #{i} to {addr}: sim={got} ref={want}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=1, max_size=300
+    )
+)
+def test_ziv_never_misses_more_in_private_than_inclusive(addrs):
+    """ZIV eliminates inclusion victims, so a single core's private-cache
+    hit count can only improve relative to the inclusive baseline."""
+    cfg = tiny_config(cores=1)
+    base = build("inclusive", cfg)
+    cfg2 = tiny_config(cores=1)
+    ziv = build("ziv:notinprc", cfg2)
+    for i, addr in enumerate(addrs):
+        base.access(0, addr)
+        ziv.access(0, addr)
+    base_priv = base.stats.cores[0].l1_hits + base.stats.cores[0].l2_hits
+    ziv_priv = ziv.stats.cores[0].l1_hits + ziv.stats.cores[0].l2_hits
+    assert ziv_priv >= base_priv

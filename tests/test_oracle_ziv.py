@@ -1,0 +1,77 @@
+"""Oracle-assisted ZIV (the paper's Section VI future-work oracle)."""
+
+from tests.conftest import tiny_config
+
+from repro.cache.replacement import NextUseOracle
+from repro.core.oracle_ziv import OracleZIVScheme
+from repro.hierarchy.cmp import CacheHierarchy
+from repro.sim.engine import Simulation
+from repro.sim.trace import CoreTrace, TraceRecord, Workload, lockstep_stream
+
+
+def circular_workload(cores=2, n=2000, footprint=12):
+    traces = []
+    for c in range(cores):
+        recs = [
+            TraceRecord(1, (c + 1) * 4096 + (i % footprint), False, 3)
+            for i in range(n)
+        ]
+        traces.append(CoreTrace(recs, f"circ{c}"))
+    return Workload(traces, "circ")
+
+
+def run_oracle(cfg=None, wl=None):
+    cfg = cfg or tiny_config(cores=2, l2=(1, 3), llc=(2, 2, 3))
+    wl = wl or circular_workload()
+    oracle = NextUseOracle(lockstep_stream(wl))
+    h = CacheHierarchy(cfg, OracleZIVScheme(oracle), llc_policy="lru")
+    return Simulation(h, wl, scheduling="lockstep").run(), h
+
+
+class TestOracleZIV:
+    def test_name_and_guarantee(self):
+        result, h = run_oracle()
+        assert result.scheme == "ziv:oracle"
+        assert result.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()
+
+    def test_relocations_happen_under_pressure(self):
+        """Hot private-resident blocks age to the LLC LRU position while
+        still privately cached -> the oracle design must relocate (or
+        re-victimise in-set) instead of back-invalidating."""
+        traces = []
+        for c in range(2):
+            base = (c + 1) * 4096
+            recs = []
+            for i in range(3000):
+                if i % 2:
+                    recs.append(TraceRecord(1, base + (i // 2) % 64, False, 7))
+                else:
+                    recs.append(TraceRecord(1, base + 8000 + i % 3, False, 9))
+            traces.append(CoreTrace(recs, f"hot{c}"))
+        wl = Workload(traces, "hotstream")
+        result, h = run_oracle(wl=wl)
+        assert (
+            result.stats.relocations + result.stats.relocation_same_set > 0
+        )
+        assert result.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()
+
+    def test_directory_consistent(self):
+        _result, h = run_oracle()
+        assert h.directory_consistent()
+
+    def test_not_worse_than_random_property_on_circular(self):
+        """The oracle-assisted design should not lose to the plain
+        NotInPrC design on a MIN-friendly circular workload."""
+        from repro.schemes import make_scheme
+
+        wl = circular_workload(n=4000, footprint=14)
+        cfg = tiny_config(cores=2, l2=(1, 3), llc=(2, 2, 3))
+        result, _h = run_oracle(cfg, wl)
+        cfg2 = tiny_config(cores=2, l2=(1, 3), llc=(2, 2, 3))
+        h2 = CacheHierarchy(cfg2, make_scheme("ziv:notinprc"),
+                            llc_policy="lru")
+        wl2 = circular_workload(n=4000, footprint=14)
+        base = Simulation(h2, wl2, scheduling="lockstep").run()
+        assert result.stats.llc_misses <= base.stats.llc_misses * 1.1

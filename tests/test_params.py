@@ -1,0 +1,138 @@
+"""Configuration dataclasses and scaled presets."""
+
+import pytest
+
+from repro.params import (
+    BLOCK_BYTES,
+    CacheGeometry,
+    ConfigError,
+    DirectoryGeometry,
+    DRAMParams,
+    LLCGeometry,
+    SCALED_L2_POINTS,
+    paper_scale_config,
+    scaled_config,
+    scaled_manycore_config,
+)
+
+
+class TestCacheGeometry:
+    def test_blocks_and_capacity(self):
+        g = CacheGeometry(sets=16, ways=8)
+        assert g.blocks == 128
+        assert g.capacity_bytes == 128 * BLOCK_BYTES
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(sets=12, ways=8)
+
+    def test_rejects_nonpositive_ways(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(sets=8, ways=0)
+
+    def test_set_index_masks_low_bits(self):
+        g = CacheGeometry(sets=8, ways=4)
+        assert g.set_index(0x123) == 0x123 & 7
+
+
+class TestLLCGeometry:
+    def test_bank_and_set_indexing_are_disjoint_bits(self):
+        g = LLCGeometry(banks=8, sets_per_bank=16, ways=16)
+        seen = set()
+        for addr in range(8 * 16):
+            seen.add((g.bank_index(addr), g.set_index(addr)))
+        assert len(seen) == 8 * 16  # consecutive addrs spread over all slots
+
+    def test_blocks(self):
+        g = LLCGeometry(banks=8, sets_per_bank=16, ways=16)
+        assert g.blocks == 2048
+
+    def test_rejects_non_pow2_banks(self):
+        with pytest.raises(ConfigError):
+            LLCGeometry(banks=3, sets_per_bank=16, ways=16)
+
+
+class TestDirectoryGeometry:
+    def test_set_index_in_range(self):
+        g = DirectoryGeometry(sets=32, ways=8)
+        for addr in (0, 1, 12345, (1 << 30) + 77):
+            assert 0 <= g.set_index(addr, banks=8) < 32
+
+    def test_xor_fold_decorrelates_high_bits(self):
+        """Two addresses differing only in a high-order bit must not
+        systematically collide (the xor fold moves high bits into the
+        index)."""
+        g = DirectoryGeometry(sets=32, ways=8)
+        diffs = sum(
+            g.set_index(a, 8) != g.set_index(a + (1 << 24), 8)
+            for a in range(0, 4096, 7)
+        )
+        assert diffs > 0
+
+
+class TestScaledConfig:
+    def test_aggregate_ratio_matches_paper(self):
+        # paper: aggregate L2 / LLC = 1/4, 1/2, 3/4 for the three points
+        for l2, ratio in (("256KB", 0.25), ("512KB", 0.5), ("768KB", 0.75)):
+            cfg = scaled_config(l2)
+            assert cfg.aggregate_l2_blocks / cfg.llc.blocks == ratio
+
+    def test_directory_provisioning_2x(self):
+        cfg = scaled_config("256KB")
+        assert cfg.directory_provisioning == pytest.approx(2.0, rel=0.3)
+
+    def test_l2_latency_grows_with_capacity(self):
+        lats = [scaled_config(p).l2.latency for p in SCALED_L2_POINTS]
+        assert lats == sorted(lats)
+        assert len(set(lats)) == 3
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_config("3MB")
+
+    def test_directory_factor_shrinks_directory(self):
+        big = scaled_config("256KB", directory_factor=2.0)
+        small = scaled_config("256KB", directory_factor=0.25)
+        assert small.directory.entries < big.directory.entries
+
+    def test_inclusive_capacity_constraint_enforced(self):
+        with pytest.raises(ConfigError):
+            scaled_config("256KB").replace(
+                l2=CacheGeometry(sets=64, ways=8)
+            )
+
+    def test_llc_scale_doubles_llc(self):
+        assert (
+            scaled_config("256KB", llc_scale=2).llc.blocks
+            == 2 * scaled_config("256KB").llc.blocks
+        )
+
+    def test_1mb_point_with_double_llc(self):
+        cfg = scaled_config("1MB", llc_scale=2)
+        # per-core L2 = half of per-core LLC share (paper Fig. 14)
+        assert cfg.l2.blocks == cfg.llc.blocks // cfg.cores // 2
+
+    def test_zerodev_mode_accepted(self):
+        assert scaled_config("256KB",
+                             directory_mode="zerodev").directory_mode == \
+            "zerodev"
+
+    def test_bad_directory_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_config("256KB", directory_mode="moesi")
+
+
+class TestOtherPresets:
+    def test_manycore_l2_is_half_llc_share(self):
+        cfg = scaled_manycore_config()
+        assert cfg.l2.blocks == cfg.llc.blocks // cfg.cores // 2
+
+    def test_paper_scale_matches_table1(self):
+        cfg = paper_scale_config("256KB")
+        assert cfg.llc.capacity_bytes == 8 * 1024 * 1024
+        assert cfg.l2.capacity_bytes == 256 * 1024
+        assert cfg.l1.capacity_bytes == 32 * 1024
+
+    def test_dram_params_validate(self):
+        with pytest.raises(ConfigError):
+            DRAMParams(channels=3)

@@ -1,0 +1,144 @@
+"""Prefetch engines and their hierarchy integration."""
+
+import pytest
+
+from tests.conftest import build, drive, tiny_config
+
+from repro.params import PrefetchParams, ConfigError, scaled_config
+from repro.prefetch import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+
+class TestEngines:
+    def test_factory_none(self):
+        assert make_prefetcher(PrefetchParams(kind="none")) is None
+
+    def test_factory_kinds(self):
+        assert isinstance(
+            make_prefetcher(PrefetchParams(kind="nextline")),
+            NextLinePrefetcher,
+        )
+        assert isinstance(
+            make_prefetcher(PrefetchParams(kind="stride")), StridePrefetcher
+        )
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigError):
+            PrefetchParams(kind="ghb")
+        with pytest.raises(ConfigError):
+            PrefetchParams(degree=0)
+
+    def test_nextline_candidates(self):
+        p = NextLinePrefetcher(degree=3)
+        assert p.on_demand_miss(10, pc=5) == [11, 12, 13]
+
+    def test_stride_needs_confidence(self):
+        p = StridePrefetcher(degree=2, min_confidence=2)
+        assert p.on_demand_miss(100, pc=7) == []  # first touch
+        assert p.on_demand_miss(104, pc=7) == []  # stride learned, conf 0
+        assert p.on_demand_miss(108, pc=7) == []  # conf 1
+        assert p.on_demand_miss(112, pc=7) == [116, 120]  # conf 2
+
+    def test_stride_resets_on_break(self):
+        p = StridePrefetcher(degree=1, min_confidence=1)
+        for a in (0, 4, 8, 12):
+            p.on_demand_miss(a, pc=3)
+        assert p.on_demand_miss(100, pc=3) == []  # stride broken
+
+    def test_stride_never_negative_addresses(self):
+        p = StridePrefetcher(degree=2, min_confidence=1)
+        for a in (100, 60, 20):
+            out = p.on_demand_miss(a, pc=9)
+        assert all(a >= 0 for a in out)
+
+    def test_per_pc_tracking(self):
+        p = StridePrefetcher(degree=1, min_confidence=1)
+        for a in (0, 4, 8):
+            p.on_demand_miss(a, pc=1)
+        # a different PC shares nothing
+        assert p.on_demand_miss(1000, pc=2) == []
+
+
+def pf_config(**kw):
+    cfg = tiny_config(llc=(2, 8, 4))
+    return cfg.replace(prefetch=PrefetchParams(**kw))
+
+
+class TestHierarchyIntegration:
+    def test_disabled_by_default(self):
+        h = drive(build("inclusive"), 500, seed=1)
+        assert h.stats.prefetches_issued == 0
+
+    def test_nextline_issues_and_fills(self):
+        cfg = pf_config(kind="nextline", degree=1)
+        h = drive(build("inclusive", cfg), 1500, seed=1)
+        assert h.stats.prefetches_issued > 0
+        assert h.stats.prefetch_fills > 0
+
+    def test_prefetched_blocks_land_in_l2_not_l1(self):
+        cfg = pf_config(kind="nextline", degree=1)
+        h = build("inclusive", cfg)
+        h.access(0, 0x10)
+        # candidate 0x11 prefetched into L2 only
+        assert h.private[0].in_l2(0x11)
+        assert not h.private[0].in_l1(0x11)
+        blk = h.private[0].l2.blocks[h.private[0].l2.set_index(0x11)][
+            h.private[0].l2.index[h.private[0].l2.set_index(0x11)][0x11]
+        ]
+        assert blk.prefetched
+
+    def test_demand_touch_marks_useful(self):
+        cfg = pf_config(kind="nextline", degree=1)
+        h = build("inclusive", cfg)
+        h.access(0, 0x10)
+        h.access(0, 0x11)  # demand touch of the prefetched block
+        assert h.stats.prefetch_useful == 1
+        s = h.private[0].l2.set_index(0x11)
+        blk = h.private[0].l2.blocks[s][h.private[0].l2.index[s][0x11]]
+        assert not blk.prefetched
+
+    def test_streaming_benefits_from_nextline(self):
+        """A sequential sweep should see fewer demand LLC misses with the
+        next-line prefetcher."""
+        accesses = [(0, a, False) for a in range(600)]
+        base = drive(build("inclusive", tiny_config(llc=(2, 8, 4))),
+                     list(accesses))
+        pf = drive(build("inclusive", pf_config(kind="nextline", degree=2)),
+                   list(accesses))
+        assert pf.stats.llc_misses < base.stats.llc_misses
+
+    def test_invariants_hold_with_prefetching(self):
+        cfg = pf_config(kind="stride", degree=2)
+        h = drive(build("inclusive", cfg), 2500, seed=3)
+        assert h.inclusion_holds()
+        assert h.directory_consistent()
+
+    def test_ziv_guarantee_with_prefetching(self):
+        cfg = pf_config(kind="nextline", degree=2)
+        h = drive(build("ziv:notinprc", cfg), 2500, seed=3)
+        assert h.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()
+        assert h.directory_consistent()
+
+    def test_char_groups_cover_prefetch_attribute(self):
+        from repro.core.char import CharEngine
+        from repro.hierarchy.private import PrivateEviction
+
+        e = CharEngine(cores=1, banks=1)
+        assert e.n_groups == 32
+        demand = PrivateEviction(1, False, True, 0, prefetched=False)
+        pf = PrivateEviction(1, False, True, 0, prefetched=True)
+        assert e.group_of(demand) != e.group_of(pf)
+
+    def test_scaled_config_with_prefetch(self):
+        cfg = scaled_config("256KB").replace(
+            prefetch=PrefetchParams(kind="stride")
+        )
+        from repro import homogeneous_mix, run_workload
+
+        wl = homogeneous_mix("lbm.1", cores=8, n_accesses=400, seed=2)
+        r = run_workload(cfg, wl, "ziv:likelydead")
+        assert r.stats.inclusion_victims_llc == 0

@@ -1,0 +1,142 @@
+"""Per-core private hierarchy: fills, eviction notices, invalidations."""
+
+from repro.cache.set_assoc import AccessContext
+from repro.hierarchy.private import PrivateHierarchy
+from repro.params import CacheGeometry
+
+
+def make(l1_sets=1, l1_ways=2, l2_sets=1, l2_ways=4):
+    return PrivateHierarchy(
+        0,
+        CacheGeometry(sets=l1_sets, ways=l1_ways),
+        CacheGeometry(sets=l2_sets, ways=l2_ways),
+    )
+
+
+def ctx(write=False):
+    return AccessContext(is_write=write)
+
+
+class TestFill:
+    def test_fill_lands_in_both_levels(self):
+        p = make()
+        notices = p.fill(0x10, ctx(), fill_hit=True)
+        assert notices == []
+        assert p.in_l1(0x10) and p.in_l2(0x10)
+        assert p.has_block(0x10)
+
+    def test_write_fill_is_dirty_everywhere(self):
+        p = make()
+        p.fill(0x10, ctx(write=True), fill_hit=False)
+        assert p.l1.blocks[0][p.l1.index[0][0x10]].dirty
+        assert p.l2.blocks[0][p.l2.index[0][0x10]].dirty
+
+    def test_fill_hit_attribute_recorded(self):
+        p = make()
+        p.fill(0x10, ctx(), fill_hit=False)
+        blk = p.l2.blocks[0][p.l2.index[0][0x10]]
+        assert blk.fill_hit is False
+        assert blk.demand_reuses == 0
+
+    def test_l2_hit_counts_demand_reuse(self):
+        p = make()
+        p.fill(0x10, ctx(), fill_hit=True)
+        # evict from L1 only by filling L1 past capacity
+        p.fill(0x20, ctx(), fill_hit=True)
+        p.fill(0x30, ctx(), fill_hit=True)  # L1 2-way: 0x10 evicted from L1
+        assert not p.in_l1(0x10) and p.in_l2(0x10)
+        p.hit_l2(0x10, ctx())
+        blk = p.l2.blocks[0][p.l2.index[0][0x10]]
+        assert blk.demand_reuses == 1
+        assert p.in_l1(0x10)
+
+
+class TestNotices:
+    def test_no_notice_while_block_in_other_level(self):
+        p = make(l1_ways=2, l2_ways=2)
+        p.fill(0x10, ctx(), fill_hit=True)
+        p.fill(0x20, ctx(), fill_hit=True)
+        # L2 is full (2-way); next fill evicts an L2 block that's still in
+        # L1 -> no notice for it yet
+        notices = p.fill(0x30, ctx(), fill_hit=True)
+        # whatever left L2 is still in L1 unless the L1 also replaced it
+        for n in notices:
+            assert not p.has_block(n.addr)
+
+    def test_notice_when_block_leaves_core(self):
+        p = make(l1_ways=1, l2_ways=1)
+        p.fill(0x10, ctx(), fill_hit=True)
+        notices = p.fill(0x20, ctx(), fill_hit=True)
+        addrs = [n.addr for n in notices]
+        assert addrs == [0x10]
+        assert not p.has_block(0x10)
+
+    def test_dirty_notice_carries_dirty(self):
+        p = make(l1_ways=1, l2_ways=1)
+        p.fill(0x10, ctx(write=True), fill_hit=True)
+        notices = p.fill(0x20, ctx(), fill_hit=True)
+        assert notices[0].dirty
+
+    def test_notice_carries_char_attributes(self):
+        p = make(l1_ways=1, l2_ways=1)
+        p.fill(0x10, ctx(), fill_hit=True)
+        notices = p.fill(0x20, ctx(), fill_hit=True)
+        assert notices[0].fill_hit is True
+        assert notices[0].demand_reuses == 0
+
+    def test_exactly_one_notice_per_departure(self):
+        """Filling past both capacities produces exactly one notice per
+        block leaving the core, never duplicates."""
+        p = make(l1_ways=2, l2_ways=4)
+        seen = []
+        for a in range(0, 0x100, 0x10):
+            seen.extend(n.addr for n in p.fill(a, ctx(), fill_hit=True))
+        assert len(seen) == len(set(seen))
+        for a in seen:
+            assert not p.has_block(a)
+
+
+class TestDirtyMigration:
+    def test_l1_dirty_evict_merges_into_l2(self):
+        p = make(l1_ways=1, l2_ways=4)
+        p.fill(0x10, ctx(write=True), fill_hit=True)
+        p.fill(0x20, ctx(), fill_hit=True)  # evicts 0x10 from L1
+        assert not p.in_l1(0x10)
+        blk = p.l2.blocks[0][p.l2.index[0][0x10]]
+        assert blk.dirty
+
+    def test_l2_dirty_evict_migrates_up_to_l1(self):
+        p = make(l1_ways=4, l2_ways=1)
+        p.fill(0x10, ctx(write=True), fill_hit=True)
+        p.l1.blocks[0][p.l1.index[0][0x10]].dirty = False  # only L2 dirty
+        notices = p.fill(0x20, ctx(), fill_hit=True)
+        assert notices == []  # 0x10 still in L1
+        assert p.l1.blocks[0][p.l1.index[0][0x10]].dirty
+
+
+class TestExternalOps:
+    def test_invalidate_removes_all_copies(self):
+        p = make()
+        p.fill(0x10, ctx(write=True), fill_hit=True)
+        copies, dirty = p.invalidate(0x10)
+        assert copies == 2
+        assert dirty
+        assert not p.has_block(0x10)
+
+    def test_invalidate_absent_block(self):
+        p = make()
+        assert p.invalidate(0x99) == (0, False)
+
+    def test_downgrade_clears_dirty_keeps_data(self):
+        p = make()
+        p.fill(0x10, ctx(write=True), fill_hit=True)
+        assert p.downgrade(0x10) is True
+        assert p.has_block(0x10)
+        assert not p.l1.blocks[0][p.l1.index[0][0x10]].dirty
+        assert p.downgrade(0x10) is False
+
+    def test_resident_addrs_unions_levels(self):
+        p = make(l1_ways=1, l2_ways=4)
+        p.fill(0x10, ctx(), fill_hit=True)
+        p.fill(0x20, ctx(), fill_hit=True)  # 0x10 leaves L1, stays L2
+        assert p.resident_addrs() == {0x10, 0x20}

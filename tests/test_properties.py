@@ -1,0 +1,223 @@
+"""Per-set property maintenance and relocation-set victim selection."""
+
+import pytest
+
+from repro.core.properties import (
+    PROPERTY_LADDERS,
+    PropertyTracker,
+    ZIV_PROPERTY_NAMES,
+)
+from repro.cache.set_assoc import AccessContext
+from repro.hierarchy.llc import LastLevelCache
+from repro.params import LLCGeometry
+
+
+def make_llc(policy="lru"):
+    return LastLevelCache(
+        LLCGeometry(banks=2, sets_per_bank=4, ways=4), policy
+    )
+
+
+def tracker(llc, props=ZIV_PROPERTY_NAMES):
+    return PropertyTracker(llc, tuple(props))
+
+
+def fill(llc, bank, set_idx, way, addr, **flags):
+    blk = llc.banks[bank].install(set_idx, way, addr, AccessContext())
+    for k, v in flags.items():
+        setattr(blk, k, v)
+    return blk
+
+
+class TestLadders:
+    def test_all_ladders_end_with_notinprc(self):
+        for name, ladder in PROPERTY_LADDERS.items():
+            assert ladder[0] == "invalid"
+            assert ladder[-1] == "notinprc"
+
+    def test_unknown_property_rejected(self):
+        llc = make_llc()
+        with pytest.raises(ValueError):
+            PropertyTracker(llc, ("invalid", "bogus"))
+
+
+class TestRefresh:
+    def test_initial_all_invalid(self):
+        llc = make_llc()
+        t = tracker(llc)
+        for bank in range(2):
+            assert t.pv(bank, "invalid").population() == 4
+            assert t.pv(bank, "notinprc").empty
+
+    def test_invalid_cleared_when_set_fills(self):
+        llc = make_llc()
+        t = tracker(llc)
+        for way, a in enumerate(range(0, 32, 8)):
+            fill(llc, 0, 0, way, a)
+        t.refresh(0, 0)
+        assert not t.satisfies(0, 0, "invalid")
+
+    def test_notinprc_tracks_flag(self):
+        llc = make_llc()
+        t = tracker(llc)
+        blk = fill(llc, 0, 0, 0, 0)
+        t.refresh(0, 0)
+        assert not t.satisfies(0, 0, "notinprc")
+        blk.not_in_prc = True
+        t.refresh(0, 0)
+        assert t.satisfies(0, 0, "notinprc")
+
+    def test_lrunotinprc_requires_lru_block(self):
+        llc = make_llc()
+        t = tracker(llc)
+        b0 = fill(llc, 0, 0, 0, 0)           # oldest (LRU)
+        b1 = fill(llc, 0, 0, 1, 8, not_in_prc=True)
+        t.refresh(0, 0)
+        assert not t.satisfies(0, 0, "lrunotinprc")  # LRU block is b0
+        assert t.satisfies(0, 0, "notinprc")
+        b0.not_in_prc = True
+        t.refresh(0, 0)
+        assert t.satisfies(0, 0, "lrunotinprc")
+
+    def test_maxrrpv_requires_max(self):
+        llc = make_llc("hawkeye")
+        t = tracker(llc)
+        maxr = llc.banks[0].policy.max_rrpv
+        blk = fill(llc, 0, 0, 0, 0, not_in_prc=True)
+        blk.rrpv = maxr - 1
+        t.refresh(0, 0)
+        assert not t.satisfies(0, 0, "maxrrpvnotinprc")
+        blk.rrpv = maxr
+        t.refresh(0, 0)
+        assert t.satisfies(0, 0, "maxrrpvnotinprc")
+
+    def test_likelydead_requires_both_flags(self):
+        llc = make_llc()
+        t = tracker(llc)
+        blk = fill(llc, 0, 0, 0, 0, likely_dead=True)
+        t.refresh(0, 0)
+        # likely_dead without not_in_prc does not satisfy the property
+        assert not t.satisfies(0, 0, "likelydeadnotinprc")
+        blk.not_in_prc = True
+        t.refresh(0, 0)
+        assert t.satisfies(0, 0, "likelydeadnotinprc")
+
+    def test_relocated_blocks_never_satisfy(self):
+        """A relocated block is privately cached by invariant, so it can
+        never make a set eligible."""
+        from repro.cache.block import CacheBlock
+
+        llc = make_llc()
+        t = tracker(llc)
+        src = CacheBlock()
+        src.addr = 0
+        src.valid = True
+        llc.banks[0].install_relocated(1, 0, src, AccessContext())
+        t.refresh(0, 1)
+        assert not t.satisfies(0, 1, "notinprc")
+
+
+class TestVictimSelection:
+    def test_invalid_way_first(self):
+        llc = make_llc()
+        t = tracker(llc)
+        fill(llc, 0, 0, 0, 0, not_in_prc=True)
+        way = t.select_relocation_victim(0, 0, "notinprc")
+        assert not llc.banks[0].blocks[0][way].valid
+
+    def test_notinprc_closest_to_lru(self):
+        llc = make_llc()
+        t = tracker(llc)
+        fill(llc, 0, 0, 0, 0, not_in_prc=True)    # oldest
+        fill(llc, 0, 0, 1, 8, not_in_prc=True)
+        fill(llc, 0, 0, 2, 16)
+        fill(llc, 0, 0, 3, 24, not_in_prc=True)
+        way = t.select_relocation_victim(0, 0, "notinprc")
+        assert llc.banks[0].blocks[0][way].addr == 0
+
+    def test_maxrrpv_scheme_prefers_high_rrpv(self):
+        llc = make_llc("hawkeye")
+        t = tracker(llc)
+        b0 = fill(llc, 0, 0, 0, 0, not_in_prc=True)
+        b1 = fill(llc, 0, 0, 1, 8, not_in_prc=True)
+        fill(llc, 0, 0, 2, 16)
+        fill(llc, 0, 0, 3, 24)
+        b0.rrpv = 2
+        b1.rrpv = 7
+        way = t.select_relocation_victim(0, 0, "maxrrpvnotinprc")
+        assert llc.banks[0].blocks[0][way].addr == 8
+
+    def test_likelydead_scheme_prefers_dead(self):
+        llc = make_llc()
+        t = tracker(llc)
+        fill(llc, 0, 0, 0, 0, not_in_prc=True)  # older, not dead
+        fill(llc, 0, 0, 1, 8, not_in_prc=True, likely_dead=True)
+        fill(llc, 0, 0, 2, 16)
+        fill(llc, 0, 0, 3, 24)
+        way = t.select_relocation_victim(0, 0, "likelydead")
+        assert llc.banks[0].blocks[0][way].addr == 8
+
+    def test_likelydead_falls_back_to_notinprc(self):
+        llc = make_llc()
+        t = tracker(llc)
+        fill(llc, 0, 0, 0, 0, not_in_prc=True)
+        fill(llc, 0, 0, 1, 8)
+        fill(llc, 0, 0, 2, 16)
+        fill(llc, 0, 0, 3, 24)
+        way = t.select_relocation_victim(0, 0, "likelydead")
+        assert llc.banks[0].blocks[0][way].addr == 0
+
+    def test_mrlikelydead_priority_chain(self):
+        llc = make_llc("hawkeye")
+        t = tracker(llc)
+        maxr = llc.banks[0].policy.max_rrpv
+        b0 = fill(llc, 0, 0, 0, 0, not_in_prc=True, likely_dead=True)
+        b1 = fill(llc, 0, 0, 1, 8, not_in_prc=True)
+        fill(llc, 0, 0, 2, 16)
+        fill(llc, 0, 0, 3, 24)
+        b0.rrpv = 3
+        b1.rrpv = maxr
+        # first preference: NotInPrC with RRPV == max
+        way = t.select_relocation_victim(0, 0, "mrlikelydead")
+        assert llc.banks[0].blocks[0][way].addr == 8
+        b1.rrpv = 2
+        # next: LikelyDead with highest rrpv
+        way = t.select_relocation_victim(0, 0, "mrlikelydead")
+        assert llc.banks[0].blocks[0][way].addr == 0
+        b0.likely_dead = False
+        # finally: NotInPrC with highest rrpv
+        way = t.select_relocation_victim(0, 0, "mrlikelydead")
+        assert llc.banks[0].blocks[0][way].addr == 0
+
+    def test_no_candidate_returns_minus_one(self):
+        llc = make_llc()
+        t = tracker(llc)
+        for way, a in enumerate(range(0, 32, 8)):
+            fill(llc, 0, 0, way, a)  # all privately cached (flags off)
+        assert t.select_relocation_victim(0, 0, "notinprc") == -1
+
+    def test_unknown_scheme_property(self):
+        llc = make_llc()
+        t = tracker(llc)
+        for way, a in enumerate(range(0, 32, 8)):
+            fill(llc, 0, 0, way, a)  # no invalid way left
+        with pytest.raises(ValueError):
+            t.select_relocation_victim(0, 0, "bogus")
+
+
+class TestGlobalPick:
+    def test_pick_global_consumes_round_robin(self):
+        llc = make_llc()
+        t = tracker(llc)
+        for s in (1, 3):
+            blk = fill(llc, 0, s, 0, s * 2, not_in_prc=True)
+            for w, a in enumerate(range(64, 88, 8), start=1):
+                fill(llc, 0, s, w, a + s)
+            t.refresh(0, s)
+        # make sets 0, 2 full and ineligible
+        for s in (0, 2):
+            for w, a in enumerate(range(128, 160, 8)):
+                fill(llc, 0, s, w, a + s)
+            t.refresh(0, s)
+        picks = [t.pick_global(0, "notinprc") for _ in range(4)]
+        assert picks == [1, 3, 1, 3]

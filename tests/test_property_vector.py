@@ -1,0 +1,100 @@
+"""Property vectors: bits, emptyPV, round-robin nextRS."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.property_vector import PropertyVector
+
+
+class TestBits:
+    def test_initially_empty(self):
+        pv = PropertyVector(16)
+        assert pv.empty
+        assert pv.population() == 0
+
+    def test_set_and_get(self):
+        pv = PropertyVector(16)
+        assert pv.set_bit(3, True) is True
+        assert pv.get_bit(3)
+        assert not pv.empty
+        assert pv.set_bit(3, True) is False  # no change
+        assert pv.set_bit(3, False) is True
+        assert pv.empty
+
+    def test_flip_counter(self):
+        pv = PropertyVector(8)
+        pv.set_bit(0, True)
+        pv.set_bit(0, True)
+        pv.set_bit(0, False)
+        assert pv.flips == 2
+
+
+class TestNextRS:
+    def test_empty_returns_minus_one(self):
+        pv = PropertyVector(8)
+        assert pv.next_relocation_set() == -1
+        assert pv.peek_relocation_set() == -1
+
+    def test_single_bit(self):
+        pv = PropertyVector(8)
+        pv.set_bit(5, True)
+        assert pv.next_relocation_set() == 5
+        assert pv.next_relocation_set() == 5  # round robin on one set
+
+    def test_round_robin_cycles(self):
+        pv = PropertyVector(8)
+        for s in (1, 4, 6):
+            pv.set_bit(s, True)
+        seq = [pv.next_relocation_set() for _ in range(6)]
+        assert seq == [1, 4, 6, 1, 4, 6]
+
+    def test_peek_does_not_consume(self):
+        pv = PropertyVector(8)
+        pv.set_bit(2, True)
+        pv.set_bit(5, True)
+        assert pv.peek_relocation_set() == 2
+        assert pv.peek_relocation_set() == 2
+        assert pv.next_relocation_set() == 2
+        assert pv.peek_relocation_set() == 5
+
+    def test_force_pointer(self):
+        pv = PropertyVector(8)
+        pv.set_bit(1, True)
+        pv.set_bit(6, True)
+        pv.force_pointer(1)
+        assert pv.next_relocation_set() == 6
+
+    def test_round_robin_disabled_picks_lowest(self):
+        pv = PropertyVector(8)
+        pv.round_robin = False
+        for s in (2, 5):
+            pv.set_bit(s, True)
+        assert [pv.next_relocation_set() for _ in range(3)] == [2, 2, 2]
+
+    @given(
+        bits=st.sets(st.integers(min_value=0, max_value=31), min_size=1,
+                     max_size=12)
+    )
+    def test_round_robin_visits_all_uniformly(self, bits):
+        """Over len(bits) consecutive picks, every eligible set is used
+        exactly once (the uniform load-spreading of paper III-D1)."""
+        pv = PropertyVector(32)
+        for s in bits:
+            pv.set_bit(s, True)
+        picks = [pv.next_relocation_set() for _ in range(len(bits))]
+        assert sorted(picks) == sorted(bits)
+
+    @given(
+        bits=st.sets(st.integers(min_value=0, max_value=31), max_size=8),
+        ops=st.lists(st.integers(min_value=0, max_value=31), max_size=20),
+    )
+    def test_next_rs_always_eligible(self, bits, ops):
+        pv = PropertyVector(32)
+        for s in bits:
+            pv.set_bit(s, True)
+        for o in ops:
+            pv.set_bit(o, not pv.get_bit(o))
+            pick = pv.next_relocation_set()
+            if pv.empty:
+                assert pick == -1
+            else:
+                assert pv.get_bit(pick)

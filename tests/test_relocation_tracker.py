@@ -1,0 +1,70 @@
+"""Relocation FIFO model and interval statistics."""
+
+from repro.core.relocation import RelocationTracker
+
+
+class TestIntervals:
+    def test_first_relocation_records_no_interval(self):
+        t = RelocationTracker(banks=2)
+        t.record(0, cycle=100)
+        assert t.intervals_recorded == 0
+
+    def test_interval_bucketing(self):
+        t = RelocationTracker(banks=1)
+        t.record(0, cycle=0)
+        t.record(0, cycle=1)     # interval 1 -> bucket 0
+        t.record(0, cycle=9)     # interval 8 -> bucket 3
+        t.record(0, cycle=1033)  # interval 1024 -> bucket 10
+        assert t.interval_log2_histogram == {0: 1, 3: 1, 10: 1}
+
+    def test_per_bank_independent(self):
+        t = RelocationTracker(banks=2)
+        t.record(0, cycle=0)
+        t.record(1, cycle=5)
+        assert t.intervals_recorded == 0  # different banks, no interval
+
+    def test_short_interval_counter(self):
+        t = RelocationTracker(banks=1, nextrs_latency=3)
+        t.record(0, 0)
+        t.record(0, 1)  # interval 1 < 3
+        t.record(0, 100)
+        assert t.short_intervals == 1
+
+    def test_cdf_monotone_to_one(self):
+        t = RelocationTracker(banks=1)
+        cycles = [0, 2, 3, 10, 500, 501, 5000]
+        for c in cycles:
+            t.record(0, c)
+        cdf = t.cdf()
+        fracs = [f for _b, f in cdf]
+        assert fracs == sorted(fracs)
+        assert abs(fracs[-1] - 1.0) < 1e-9
+
+    def test_fraction_below(self):
+        t = RelocationTracker(banks=1)
+        t.record(0, 0)
+        t.record(0, 1)      # bucket 0
+        t.record(0, 1001)   # bucket 9
+        assert t.fraction_below(2) == 0.5
+        assert t.fraction_below(1 << 20) == 1.0
+
+
+class TestFIFO:
+    def test_spaced_relocations_keep_fifo_shallow(self):
+        t = RelocationTracker(banks=1, nextrs_latency=3)
+        for i in range(20):
+            t.record(0, i * 100)
+        assert t.fifo_peak == 1
+        assert t.fifo_overflows == 0
+
+    def test_burst_grows_occupancy(self):
+        t = RelocationTracker(banks=1, fifo_depth=8, nextrs_latency=3)
+        for _ in range(4):
+            t.record(0, 10)  # simultaneous burst
+        assert t.fifo_peak == 4
+
+    def test_overflow_detected(self):
+        t = RelocationTracker(banks=1, fifo_depth=2, nextrs_latency=3)
+        for _ in range(5):
+            t.record(0, 0)
+        assert t.fifo_overflows > 0

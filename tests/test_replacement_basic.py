@@ -1,0 +1,123 @@
+"""LRU, NRU and Random replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+
+
+def fresh(policy, sets=1, ways=4):
+    return SetAssociativeCache(sets, ways, policy)
+
+
+def fill_set(cache, addrs, set_idx=0):
+    ctx = AccessContext()
+    for i, a in enumerate(addrs):
+        cache.install(set_idx, i, a, ctx)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("lru", "nru", "random", "srrip", "brrip", "drrip",
+                     "fifo", "plru", "lip", "bip", "ship", "hawkeye"):
+            assert make_policy(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("mockingjay")
+
+    def test_double_attach_rejected(self):
+        p = LRUPolicy()
+        fresh(p)
+        with pytest.raises(RuntimeError):
+            SetAssociativeCache(1, 2, p)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        c = fresh(LRUPolicy(), ways=4)
+        fill_set(c, [0, 8, 16, 24])
+        c.touch(0, AccessContext())
+        assert c.blocks[0][c.policy.victim(0, AccessContext())].addr == 8
+
+    def test_ranked_order_is_recency_order(self):
+        c = fresh(LRUPolicy(), ways=4)
+        fill_set(c, [0, 8, 16, 24])
+        for a in (16, 0, 24, 8):
+            c.touch(a, AccessContext())
+        ranked = [c.blocks[0][w].addr for w in
+                  c.policy.ranked_victims(0, AccessContext())]
+        assert ranked == [16, 0, 24, 8]
+
+    def test_promote_moves_to_mru(self):
+        c = fresh(LRUPolicy(), ways=3)
+        fill_set(c, [0, 8, 16])
+        c.promote(0, 0, AccessContext())  # way 0 holds addr 0
+        assert c.blocks[0][c.policy.victim(0, AccessContext())].addr == 8
+
+    def test_lru_block_way(self):
+        c = fresh(LRUPolicy(), ways=3)
+        fill_set(c, [0, 8, 16])
+        assert c.policy.lru_block_way(0) == 0
+        c.touch(0, AccessContext())
+        assert c.policy.lru_block_way(0) == 1
+
+    @given(
+        ops=st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                     max_size=200)
+    )
+    def test_stack_property(self, ops):
+        """LRU inclusion (stack) property: the content of a 2-way cache is
+        always a subset of a 4-way cache under the same access stream."""
+        small = fresh(LRUPolicy(), sets=1, ways=2)
+        large = fresh(LRUPolicy(), sets=1, ways=4)
+        ctx = AccessContext()
+        for a in ops:
+            for cache in (small, large):
+                if cache.contains(a):
+                    cache.touch(a, ctx)
+                else:
+                    way = cache.choose_victim_way(0, ctx)
+                    if cache.blocks[0][way].valid:
+                        cache.evict_way(0, way, ctx)
+                    cache.install(0, way, a, ctx)
+        assert small.resident_addrs() <= large.resident_addrs()
+
+
+class TestNRU:
+    def test_prefers_not_recent(self):
+        c = fresh(NRUPolicy(), ways=4)
+        fill_set(c, [0, 8, 16, 24])
+        # everything has nru=1 -> all reset, victim = way 0
+        assert c.policy.victim(0, AccessContext()) == 0
+        c.touch(8, AccessContext())  # way 1 recent again
+        assert c.policy.victim(0, AccessContext()) == 0
+
+    def test_reset_when_all_recent(self):
+        c = fresh(NRUPolicy(), ways=2)
+        fill_set(c, [0, 8])
+        ranked = list(c.policy.ranked_victims(0, AccessContext()))
+        assert len(ranked) == 2  # reset happened, both candidates
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = fresh(RandomPolicy(seed=5), ways=8)
+        b = fresh(RandomPolicy(seed=5), ways=8)
+        fill_set(a, list(range(0, 64, 8)))
+        fill_set(b, list(range(0, 64, 8)))
+        va = [a.policy.victim(0, AccessContext()) for _ in range(10)]
+        vb = [b.policy.victim(0, AccessContext()) for _ in range(10)]
+        assert va == vb
+
+    def test_covers_all_ways_eventually(self):
+        c = fresh(RandomPolicy(seed=1), ways=4)
+        fill_set(c, [0, 8, 16, 24])
+        seen = {c.policy.victim(0, AccessContext()) for _ in range(100)}
+        assert seen == {0, 1, 2, 3}

@@ -1,0 +1,50 @@
+"""Result reports."""
+
+from tests.conftest import tiny_config
+
+from repro.sim.engine import run_workload
+from repro.sim.report import compare_results, describe_result
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+
+def workload():
+    traces = [
+        CoreTrace(
+            [TraceRecord(1, (c + 1) * 512 + i % 20, i % 4 == 0, i % 5)
+             for i in range(300)],
+            f"app{c}",
+        )
+        for c in range(2)
+    ]
+    return Workload(traces, "report-wl")
+
+
+class TestDescribe:
+    def test_mentions_headline_counters(self):
+        r = run_workload(tiny_config(), workload(), "ziv:notinprc")
+        out = describe_result(r)
+        assert "incl. victims : 0 (LLC)" in out
+        assert "relocations" in out
+        assert "pJ/instruction" in out
+
+    def test_prefetch_line_only_when_active(self):
+        r = run_workload(tiny_config(), workload(), "inclusive")
+        assert "prefetches" not in describe_result(r)
+        from repro.params import PrefetchParams
+
+        cfg = tiny_config().replace(
+            prefetch=PrefetchParams(kind="nextline", degree=1)
+        )
+        r2 = run_workload(cfg, workload(), "inclusive")
+        assert "prefetches" in describe_result(r2)
+
+
+class TestCompare:
+    def test_compare_reports_speedup_and_ratios(self):
+        wl = workload()
+        base = run_workload(tiny_config(), wl, "inclusive")
+        cand = run_workload(tiny_config(), wl, "ziv:notinprc")
+        out = compare_results(base, cand)
+        assert "speedup" in out
+        assert "vs baseline inclusive/lru" in out
+        assert "incl. victims" in out

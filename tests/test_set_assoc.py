@@ -1,0 +1,167 @@
+"""The generic set-associative array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import LRUPolicy
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+
+
+def make_cache(sets=4, ways=4, shift=0):
+    return SetAssociativeCache(sets, ways, LRUPolicy(), index_shift=shift)
+
+
+def fill(cache, addr, ctx=None):
+    ctx = ctx or AccessContext()
+    s = cache.set_index(addr)
+    way = cache.choose_victim_way(s, ctx)
+    if cache.blocks[s][way].valid:
+        cache.evict_way(s, way, ctx)
+    return cache.install(s, way, addr, ctx)
+
+
+class TestBasics:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_cache(sets=3)
+        with pytest.raises(ValueError):
+            make_cache(ways=0)
+
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert c.probe(0x10) < 0
+        fill(c, 0x10)
+        assert c.probe(0x10) >= 0
+        assert c.contains(0x10)
+
+    def test_index_shift(self):
+        c = make_cache(sets=4, ways=2, shift=3)
+        assert c.set_index(0b101000) == (0b101000 >> 3) & 3
+
+    def test_install_into_valid_way_raises(self):
+        c = make_cache()
+        blk = fill(c, 0)
+        s = c.set_index(0)
+        way = c.index[s][0]
+        with pytest.raises(LookupError):
+            c.install(s, way, 99, AccessContext())
+
+    def test_evict_invalid_way_raises(self):
+        c = make_cache()
+        with pytest.raises(LookupError):
+            c.evict_way(0, 0, AccessContext())
+
+    def test_invalid_way_used_before_victim(self):
+        c = make_cache(sets=1, ways=4)
+        for a in range(3):
+            fill(c, a)
+        # one way still invalid: choose_victim_way must return it
+        way = c.choose_victim_way(0, AccessContext())
+        assert not c.blocks[0][way].valid
+
+    def test_occupancy_and_resident_addrs(self):
+        c = make_cache()
+        for a in range(8):
+            fill(c, a)
+        assert c.occupancy() == 8
+        assert c.resident_addrs() == set(range(8))
+
+
+class TestEviction:
+    def test_capacity_eviction_is_lru(self):
+        c = make_cache(sets=1, ways=4)
+        for a in range(4):
+            fill(c, a)
+        c.touch(0, AccessContext())  # 0 becomes MRU; LRU is now 1
+        fill(c, 100)
+        assert not c.contains(1)
+        assert c.contains(0)
+
+    def test_evicted_block_state_readable(self):
+        c = make_cache(sets=1, ways=1)
+        blk = fill(c, 7)
+        blk.dirty = True
+        s = c.set_index(7)
+        out = c.evict_way(s, 0, AccessContext())
+        assert out.addr == 7
+        assert out.dirty
+        assert not c.contains(7)
+
+
+class TestRelocatedBlocks:
+    def test_probe_skips_relocated(self):
+        c = make_cache(sets=4, ways=2)
+        src = CacheBlock()
+        src.addr = 0  # home set would be 0
+        src.valid = True
+        src.dirty = True
+        src.char_tag = (1, 3)
+        # place it, relocated, into set 2
+        c.install_relocated(2, 0, src, AccessContext())
+        blk = c.blocks[2][0]
+        assert blk.relocated
+        assert blk.dirty
+        assert blk.char_tag == (1, 3)
+        assert not blk.not_in_prc
+        # a probe for addr 0 looks in set 0 and must miss
+        assert c.probe(0) < 0
+
+    def test_extract_way_skips_policy_evict(self):
+        class Spy(LRUPolicy):
+            def __init__(self):
+                super().__init__()
+                self.evicted = 0
+
+            def on_evict(self, s, w, ctx):
+                self.evicted += 1
+
+        spy = Spy()
+        c = SetAssociativeCache(2, 2, spy)
+        s = c.set_index(5)
+        c.install(s, 0, 5, AccessContext())
+        out = c.extract_way(s, 0)
+        assert out.addr == 5
+        assert spy.evicted == 0
+        assert not c.contains(5)
+
+    def test_extract_invalid_raises(self):
+        c = make_cache()
+        with pytest.raises(LookupError):
+            c.extract_way(0, 0)
+
+
+class TestPropertyBased:
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=200
+        )
+    )
+    def test_index_is_consistent_with_contents(self, addrs):
+        """After arbitrary fills, every per-set dict entry points at a
+        valid block with the right address, and every valid block is
+        indexed."""
+        c = make_cache(sets=4, ways=4)
+        for a in addrs:
+            if not c.contains(a):
+                fill(c, a)
+            else:
+                c.touch(a, AccessContext())
+        for s in range(c.sets):
+            for addr, way in c.index[s].items():
+                blk = c.blocks[s][way]
+                assert blk.valid and blk.addr == addr
+            valid_count = sum(1 for b in c.blocks[s] if b.valid)
+            assert valid_count == len(c.index[s])
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=300
+        )
+    )
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        c = make_cache(sets=2, ways=3)
+        for a in addrs:
+            if not c.contains(a):
+                fill(c, a)
+        assert c.occupancy() <= 6

@@ -1,0 +1,89 @@
+"""SHiP replacement policy."""
+
+import pytest
+
+from repro.cache.replacement import SHiPPolicy, make_policy
+from repro.cache.set_assoc import AccessContext, SetAssociativeCache
+
+
+def fresh(sets=2, ways=4, **kw):
+    return SetAssociativeCache(sets, ways, SHiPPolicy(**kw))
+
+
+class TestSHCT:
+    def test_factory(self):
+        assert isinstance(make_policy("ship"), SHiPPolicy)
+
+    def test_entries_pow2(self):
+        with pytest.raises(ValueError):
+            SHiPPolicy(shct_entries=1000)
+
+    def test_initially_predicts_reuse(self):
+        c = fresh()
+        c.install(0, 0, 0, AccessContext(pc=0x5))
+        assert c.blocks[0][0].rrpv == c.policy.max_rrpv - 1
+
+    def test_dead_signature_inserts_at_max(self):
+        c = fresh()
+        p = c.policy
+        # fills from pc 0x5 never reused: evictions detrain the signature
+        for i in range(8):
+            c.install(0, 0, i * 2, AccessContext(pc=0x5))
+            c.evict_way(0, 0, AccessContext())
+        c.install(0, 0, 100, AccessContext(pc=0x5))
+        assert c.blocks[0][0].rrpv == p.max_rrpv
+
+    def test_reuse_trains_signature_up(self):
+        c = fresh()
+        p = c.policy
+        for _ in range(4):  # drive the counter to zero
+            c.install(0, 0, 2, AccessContext(pc=0x9))
+            c.evict_way(0, 0, AccessContext())
+        for _ in range(6):  # reuse re-trains it
+            c.install(0, 0, 2, AccessContext(pc=0x9))
+            c.touch(2, AccessContext(pc=0x9))
+            c.evict_way(0, 0, AccessContext())
+        c.install(0, 0, 4, AccessContext(pc=0x9))
+        assert c.blocks[0][0].rrpv == p.max_rrpv - 1
+
+    def test_hit_promotes_and_marks_reused(self):
+        c = fresh()
+        c.install(0, 0, 0, AccessContext(pc=0x5))
+        c.touch(0, AccessContext(pc=0x5))
+        blk = c.blocks[0][0]
+        assert blk.rrpv == 0
+        assert blk.friendly  # outcome bit earned
+
+    def test_single_hit_trains_once(self):
+        c = fresh()
+        p = c.policy
+        from repro.cache.replacement.ship import _sign
+
+        idx = _sign(0x5, p.mask)
+        before = p.shct[idx]
+        c.install(0, 0, 0, AccessContext(pc=0x5))
+        c.touch(0, AccessContext(pc=0x5))
+        c.touch(0, AccessContext(pc=0x5))
+        assert p.shct[idx] == min(p.counter_max, before + 1)
+
+    def test_relocation_fill_uses_signature(self):
+        from repro.cache.block import CacheBlock
+
+        c = fresh()
+        src = CacheBlock()
+        src.addr = 1
+        src.valid = True
+        src.last_pc = 0x5
+        c.install_relocated(0, 0, src, AccessContext())
+        assert c.blocks[0][0].rrpv in (
+            c.policy.max_rrpv, c.policy.max_rrpv - 1
+        )
+
+
+class TestSHiPInHierarchy:
+    def test_runs_as_llc_policy(self):
+        from tests.conftest import build, drive
+
+        h = drive(build("ziv:maxrrpvnotinprc", policy="ship"), 2500, seed=1)
+        assert h.stats.inclusion_victims_llc == 0
+        assert h.inclusion_holds()

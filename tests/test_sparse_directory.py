@@ -1,0 +1,134 @@
+"""The sliced sparse directory in MESI and ZeroDEV modes."""
+
+import pytest
+
+from repro.coherence.sparse_directory import SparseDirectory
+from repro.params import DirectoryGeometry, LLCGeometry
+
+LLC = LLCGeometry(banks=2, sets_per_bank=4, ways=4)
+
+
+def make(mode="mesi", sets=2, ways=2):
+    return SparseDirectory(DirectoryGeometry(sets=sets, ways=ways), LLC, mode)
+
+
+class TestBasics:
+    def test_lookup_miss(self):
+        d = make()
+        assert d.lookup(0x40) is None
+
+    def test_allocate_then_lookup(self):
+        d = make()
+        entry, displaced = d.allocate(0x40)
+        assert displaced is None
+        entry.add_sharer(1)
+        found = d.lookup(0x40)
+        assert found is entry
+        assert found.has_sharer(1)
+
+    def test_double_allocate_rejected(self):
+        d = make()
+        d.allocate(0x40)
+        with pytest.raises(LookupError):
+            d.allocate(0x40)
+
+    def test_free(self):
+        d = make()
+        d.allocate(0x40)
+        d.free(0x40)
+        assert d.lookup(0x40) is None
+        assert d.occupancy() == 0
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make(mode="qpi")
+
+    def test_slicing_by_bank(self):
+        d = make()
+        d.allocate(0)  # bank 0
+        d.allocate(1)  # bank 1
+        assert d.slices[0].occupancy() == 1
+        assert d.slices[1].occupancy() == 1
+
+
+def fill_one_set(d, count):
+    """Allocate ``count`` addresses that land in the same slice set."""
+    allocated = []
+    target = None
+    addr = 0
+    while len(allocated) < count:
+        bank = LLC.bank_index(addr)
+        set_idx = d.geometry.set_index(addr, LLC.banks)
+        if bank == 0 and (target is None or set_idx == target):
+            target = set_idx
+            if d.lookup(addr) is None:
+                try:
+                    entry, displaced = d.allocate(addr)
+                except LookupError:
+                    pass
+                else:
+                    allocated.append((addr, entry, displaced))
+        addr += 2  # stay in bank 0
+    return allocated
+
+
+class TestEviction:
+    def test_mesi_eviction_returns_displaced(self):
+        d = make(mode="mesi", sets=1, ways=2)
+        outcomes = fill_one_set(d, 3)
+        displaced = [o[2] for o in outcomes if o[2] is not None]
+        assert len(displaced) == 1
+        assert displaced[0].valid
+
+    def test_displaced_preserves_state(self):
+        d = make(mode="mesi", sets=1, ways=1)
+        e1, _ = d.allocate(0)
+        e1.add_sharer(3)
+        e1.set_relocation(1, 2, 3)
+        _e2, displaced = d.allocate(2)
+        assert displaced.addr == 0
+        assert displaced.has_sharer(3)
+        assert displaced.relocated
+        assert (displaced.reloc_bank, displaced.reloc_set,
+                displaced.reloc_way) == (1, 2, 3)
+
+    def test_nru_prefers_not_recent(self):
+        d = make(mode="mesi", sets=1, ways=2)
+        e0, _ = d.allocate(0)
+        e2, _ = d.allocate(2)
+        # touch entry for addr 2 (lookup sets NRU); 0's bit gets cleared on
+        # the reset pass, so 0 is the victim
+        d.lookup(0)
+        d.lookup(2)
+        # force a reset then re-reference only addr 2
+        for e in d.slices[0].sets[0]:
+            e.nru = False
+        d.lookup(2)
+        _e, displaced = d.allocate(4)
+        assert displaced.addr == 0
+
+
+class TestZeroDEV:
+    def test_spill_instead_of_evict(self):
+        d = make(mode="zerodev", sets=1, ways=1)
+        e1, _ = d.allocate(0)
+        e1.add_sharer(2)
+        _e2, displaced = d.allocate(2)
+        assert displaced is None  # caller never back-invalidates
+        assert d.spill_count == 1
+        spilled = d.lookup(0)
+        assert spilled is not None and spilled.has_sharer(2)
+
+    def test_spilled_entry_freed(self):
+        d = make(mode="zerodev", sets=1, ways=1)
+        d.allocate(0)
+        d.allocate(2)  # spills 0
+        d.free(0)
+        assert d.lookup(0) is None
+
+    def test_occupancy_includes_spill(self):
+        d = make(mode="zerodev", sets=1, ways=1)
+        d.allocate(0)
+        d.allocate(2)
+        assert d.occupancy() == 2
+        assert len(list(d.iter_valid())) == 2

@@ -1,0 +1,65 @@
+"""The parameter-sweep utility."""
+
+import pytest
+
+from tests.conftest import tiny_config
+
+from repro.sim.sweep import SweepPoint, format_sweep, run_sweep
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+
+def workloads(n=2):
+    out = []
+    for k in range(n):
+        traces = [
+            CoreTrace(
+                [TraceRecord(1, (c + 1) * 256 + (i * (k + 1)) % 30,
+                             False, i % 4) for i in range(250)]
+            )
+            for c in range(2)
+        ]
+        out.append(Workload(traces, f"wl{k}"))
+    return out
+
+
+def points():
+    return [
+        SweepPoint("I-LRU", tiny_config(), "inclusive", "lru"),
+        SweepPoint("ZIV", tiny_config(), "ziv:notinprc", "lru"),
+    ]
+
+
+class TestRunSweep:
+    def test_baseline_speedup_is_one(self):
+        rows = run_sweep(points(), workloads())
+        assert rows[0].speedup == pytest.approx(1.0)
+        assert rows[0].speedup_min == pytest.approx(1.0)
+
+    def test_row_fields_populated(self):
+        rows = run_sweep(points(), workloads())
+        ziv = rows[1]
+        assert ziv.scheme == "ziv:notinprc"
+        assert ziv.inclusion_victims == 0
+        assert ziv.llc_misses > 0
+        assert len(ziv.results) == 2
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(points(), workloads(1), progress=seen.append)
+        assert any("ZIV" in s for s in seen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep([], workloads())
+        with pytest.raises(ValueError):
+            run_sweep(points(), [])
+
+    def test_explicit_baseline(self):
+        pts = points()
+        rows = run_sweep(pts, workloads(), baseline=pts[1])
+        assert rows[1].speedup == pytest.approx(1.0)
+
+    def test_format(self):
+        rows = run_sweep(points(), workloads(1))
+        out = format_sweep(rows)
+        assert "I-LRU" in out and "ZIV" in out and "speedup" in out

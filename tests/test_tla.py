@@ -1,0 +1,71 @@
+"""TLH and ECI (the other two TLA techniques)."""
+
+import pytest
+
+from tests.conftest import build, drive, tiny_config
+
+from repro.schemes import make_scheme
+
+
+class TestTLH:
+    def test_hints_promote_llc_state(self):
+        h = drive(build("tlh"), 3000, seed=1)
+        assert h.scheme.hints_sent > 0
+        assert h.scheme.on_stats()["hints_sent"] == h.scheme.hints_sent
+
+    def test_hint_rate_validation(self):
+        with pytest.raises(ValueError):
+            make_scheme("tlh", hint_rate=1.5)
+
+    def test_zero_hint_rate_sends_nothing(self):
+        h = drive(build("tlh", hint_rate=0.0), 2000, seed=1)
+        assert h.scheme.hints_sent == 0
+
+    def test_sampled_hints_fewer_than_full(self):
+        full = drive(build("tlh", hint_rate=1.0), 2000, seed=1)
+        half = drive(build("tlh", hint_rate=0.3), 2000, seed=1)
+        assert half.scheme.hints_sent < full.scheme.hints_sent
+
+    def test_still_inclusive(self):
+        h = drive(build("tlh"), 2000, seed=2)
+        assert h.inclusion_holds()
+
+    def test_hint_reduces_inclusion_victims_of_hot_blocks(self):
+        """A core hammering a private-cache-resident block keeps its LLC
+        copy fresh through hints, so the block avoids victimisation."""
+        accesses = []
+        for i in range(3000):
+            accesses.append((0, 0x10, False))       # hot block, L1-resident
+            accesses.append((1, 2 * (i % 40), False))  # attacker pressure
+        base = drive(build("inclusive"), accesses)
+        hinted = drive(build("tlh"), accesses)
+        assert (
+            hinted.stats.inclusion_victims_llc
+            <= base.stats.inclusion_victims_llc
+        )
+
+
+class TestECI:
+    def test_early_invalidations_happen(self):
+        h = drive(build("eci"), 3000, seed=1)
+        assert h.scheme.early_invalidations > 0
+
+    def test_early_invalidation_keeps_llc_copy(self):
+        """ECI invalidates private copies but the block stays in the LLC
+        with NotInPrC set (it can still earn a hit)."""
+        cfg = tiny_config(cores=2, l2=(1, 6), llc=(2, 2, 5))
+        h = drive(build("eci", cfg), 3000, seed=2)
+        assert h.inclusion_holds()
+        assert h.directory_consistent()
+
+    def test_eci_counts_as_inclusion_victims(self):
+        """Early invalidations ARE inclusion victims (the technique's
+        cost, per the paper's Related Work discussion)."""
+        h = drive(build("eci"), 3000, seed=1)
+        assert (
+            h.stats.inclusion_victims_llc >= h.scheme.early_invalidations
+        )
+
+    def test_stats_surface(self):
+        h = drive(build("eci"), 1000, seed=3)
+        assert "early_invalidations" in h.scheme.on_stats()

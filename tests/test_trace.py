@@ -1,0 +1,66 @@
+"""Trace containers and the canonical lock-step stream."""
+
+import pytest
+
+from repro.sim.trace import (
+    CoreTrace,
+    TraceRecord,
+    Workload,
+    interleave_records,
+    lockstep_stream,
+)
+
+
+def trace(addrs, name="t"):
+    return CoreTrace([TraceRecord(1, a, False, 0) for a in addrs], name)
+
+
+class TestCoreTrace:
+    def test_len_iter_getitem(self):
+        t = trace([1, 2, 3])
+        assert len(t) == 3
+        assert [r.addr for r in t] == [1, 2, 3]
+        assert t[1].addr == 2
+
+    def test_instructions_counts_gaps(self):
+        t = trace([1, 2])
+        assert t.instructions == 4  # (gap 1 + access) x 2
+
+    def test_footprint(self):
+        assert trace([1, 2, 2, 3]).footprint() == 3
+
+    def test_record_equality(self):
+        assert TraceRecord(1, 2, False, 3) == TraceRecord(1, 2, False, 3)
+        assert TraceRecord(1, 2, False, 3) != TraceRecord(1, 2, True, 3)
+
+
+class TestWorkload:
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            Workload([], "empty")
+
+    def test_cores_and_total(self):
+        wl = Workload([trace([1]), trace([2, 3])], "w")
+        assert wl.cores == 2
+        assert wl.total_accesses() == 3
+
+    def test_describe(self):
+        wl = Workload([trace([1], "a"), trace([2], "b")], "mix")
+        assert "a" in wl.describe() and "mix" in wl.describe()
+
+
+class TestLockstep:
+    def test_round_robin_order(self):
+        wl = Workload([trace([1, 2]), trace([10, 20])], "w")
+        assert lockstep_stream(wl) == [1, 10, 2, 20]
+
+    def test_uneven_lengths(self):
+        wl = Workload([trace([1, 2, 3]), trace([10])], "w")
+        assert lockstep_stream(wl) == [1, 10, 2, 3]
+
+    def test_interleave_records_pairs(self):
+        wl = Workload([trace([1]), trace([10])], "w")
+        assert [(c, r.addr) for c, r in interleave_records(wl)] == [
+            (0, 1),
+            (1, 10),
+        ]

@@ -1,0 +1,80 @@
+"""Trace file round-trip and validation."""
+
+import gzip
+
+import pytest
+
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+from repro.sim.tracefile import TraceFormatError, load_workload, save_workload
+from repro.workloads import homogeneous_mix
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        wl = homogeneous_mix("gcc.1", cores=3, n_accesses=120, seed=4)
+        path = tmp_path / "mix.trace.gz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert loaded.name == wl.name
+        assert loaded.cores == wl.cores
+        for t1, t2 in zip(wl, loaded):
+            assert t1.name == t2.name
+            assert list(t1) == list(t2)
+
+    def test_roundtrip_runs_identically(self, tmp_path):
+        from tests.conftest import tiny_config
+        from repro.sim.engine import run_workload
+
+        wl = Workload(
+            [CoreTrace([TraceRecord(1, a, a % 3 == 0, a) for a in
+                        range(40)], "t")] * 2,
+            "w",
+        )
+        path = tmp_path / "w.gz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        r1 = run_workload(tiny_config(), wl, "inclusive")
+        r2 = run_workload(tiny_config(), loaded, "inclusive")
+        assert r1.stats.llc_misses == r2.stats.llc_misses
+
+
+class TestValidation:
+    def write(self, tmp_path, text):
+        p = tmp_path / "bad.gz"
+        with gzip.open(p, "wt") as f:
+            f.write(text)
+        return p
+
+    def test_wrong_field_count(self, tmp_path):
+        p = self.write(tmp_path, "0 1 2 3\n")
+        with pytest.raises(TraceFormatError, match="5 fields"):
+            load_workload(p)
+
+    def test_non_integer(self, tmp_path):
+        p = self.write(tmp_path, "0 1 x 0 5\n")
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            load_workload(p)
+
+    def test_bad_rw_flag(self, tmp_path):
+        p = self.write(tmp_path, "0 1 2 7 5\n")
+        with pytest.raises(TraceFormatError, match="out of range"):
+            load_workload(p)
+
+    def test_empty_file(self, tmp_path):
+        p = self.write(tmp_path, "# workload empty\n")
+        with pytest.raises(TraceFormatError, match="no records"):
+            load_workload(p)
+
+    def test_sparse_core_ids(self, tmp_path):
+        p = self.write(tmp_path, "0 1 2 0 5\n2 1 2 0 5\n")
+        with pytest.raises(TraceFormatError, match="dense"):
+            load_workload(p)
+
+    def test_names_from_headers(self, tmp_path):
+        p = self.write(
+            tmp_path,
+            "# workload myload\n# core 0 appA\n0 1 2 0 5\n",
+        )
+        wl = load_workload(p)
+        assert wl.name == "myload"
+        assert wl[0].name == "appA"
