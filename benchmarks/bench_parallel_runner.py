@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the parallel runner and the result cache.
+
+Measures, over a representative recipe grid at REPRO_SCALE=quick:
+
+* ``serial_cold_s``    -- plain serial loop, disk cache disabled
+* ``parallel_cold_s``  -- ``run_many(jobs=n_cpu)``, disk cache disabled
+* ``warm_cache_s``     -- ``run_many`` resolving everything from disk
+* ``access_rate``      -- raw hot-path throughput (accesses/second)
+
+Acceptance (ISSUE): the warm-cache path must beat the cold serial path by
+>= 2x; on a multi-core machine the cold parallel path should also show a
+measurable improvement.  Run as a script to (re)generate
+``BENCH_pr1.json`` at the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+
+
+def bench_grid(scale_name: str = "quick"):
+    """A miniature sweep shaped like the paper studies: three schemes,
+    two policies, the quick-scale mix population."""
+    from repro.experiments.common import get_scale, mix_population
+    from repro.sim.parallel import make_recipe
+
+    scale = get_scale(scale_name)
+    mixes = mix_population(scale)
+    return [
+        make_recipe(wl, scheme, policy=policy, l2="256KB")
+        for scheme in ("inclusive", "noninclusive", "ziv:likelydead")
+        for policy in ("lru", "srrip")
+        for wl in mixes
+    ]
+
+
+def time_run(recipes, jobs=None):
+    from repro.sim.parallel import run_many
+
+    t0 = time.perf_counter()
+    results = run_many(recipes, jobs=jobs)
+    return time.perf_counter() - t0, results
+
+
+def measure_access_rate(n_accesses: int = 60_000) -> float:
+    """Raw hierarchy throughput on the hot path (accesses/second)."""
+    from repro.experiments.common import get_scale, mix_population
+    from repro.params import scaled_config
+    from repro.hierarchy.cmp import CacheHierarchy
+    from repro.schemes import make_scheme
+    from repro.sim.engine import Simulation
+
+    wl = mix_population(get_scale("quick"))[0]
+    cfg = scaled_config("256KB")
+    total = 0
+    t0 = time.perf_counter()
+    while total < n_accesses:
+        h = CacheHierarchy(cfg, make_scheme("inclusive"), llc_policy="lru")
+        r = Simulation(h, wl).run()
+        total += sum(c.instructions for c in r.stats.cores)
+    return total / (time.perf_counter() - t0)
+
+
+def main() -> None:
+    os.environ.setdefault("REPRO_CACHE_DIR", ".repro_cache_bench")
+    from repro.sim.parallel import (
+        clear_memo,
+        clear_result_cache,
+        resolve_jobs,
+    )
+
+    n_cpu = resolve_jobs(0)
+    recipes = bench_grid()
+    print(f"grid: {len(recipes)} recipes, {n_cpu} cpu(s)")
+
+    os.environ["REPRO_CACHE"] = "off"
+    clear_memo()
+    serial_cold, _ = time_run(recipes)
+    print(f"serial cold:   {serial_cold:8.2f}s")
+
+    clear_memo()
+    parallel_cold, _ = time_run(recipes, jobs=0)
+    print(f"parallel cold: {parallel_cold:8.2f}s (jobs={n_cpu})")
+
+    # Populate the disk cache, then measure a warm pass from a cold memo
+    # (what a new session pays).
+    os.environ["REPRO_CACHE"] = "on"
+    clear_result_cache()
+    clear_memo()
+    time_run(recipes)  # write-through
+    clear_memo()
+    warm, _ = time_run(recipes, jobs=0)
+    print(f"warm cache:    {warm:8.2f}s")
+    clear_result_cache()
+
+    rate = measure_access_rate()
+    print(f"throughput:    {rate:8.0f} accesses/s")
+
+    payload = {
+        "bench": "parallel_runner",
+        "scale": "quick",
+        "recipes": len(recipes),
+        "cpus": n_cpu,
+        "serial_cold_s": round(serial_cold, 3),
+        "parallel_cold_s": round(parallel_cold, 3),
+        "warm_cache_s": round(warm, 3),
+        "warm_speedup_vs_serial_cold": round(serial_cold / warm, 2),
+        "parallel_cold_speedup_vs_serial_cold": round(
+            serial_cold / parallel_cold, 2
+        ),
+        "access_rate_per_s": round(rate),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    assert payload["warm_speedup_vs_serial_cold"] >= 2.0, payload
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Regenerate every paper figure (plus the ablations) and dump the tables.
 
-Usage:  REPRO_SCALE=standard python scripts/run_all_experiments.py [outfile]
+Usage:  REPRO_SCALE=standard python scripts/run_all_experiments.py \\
+            [--jobs N] [outfile]
 
 All experiment modules are imported up front so the run is unaffected by
-concurrent edits to the working tree, and simulations are shared across
-figures through the process-wide result cache.
+concurrent edits to the working tree.  Every module exposes the recipes
+its figure needs, so the script submits the union of all simulations to
+``run_many`` first -- fanned out over ``--jobs`` worker processes (or
+REPRO_JOBS; default: one per CPU) -- and the per-figure loops below then
+resolve entirely from the result cache.  Total wall-clock is roughly the
+longest individual simulation times (grid / cores), not the serial sum.
 """
 
+import argparse
 import importlib
 import os
-import sys
 import time
 
 from repro.experiments import ALL_FIGURES
+from repro.sim.parallel import run_many
 
 MODULES = {
     name: importlib.import_module(f"repro.experiments.{name}")
@@ -22,10 +28,47 @@ MODULES = {
 ablations = importlib.import_module("repro.experiments.ablations")
 
 
+def collect_recipes(scale):
+    """Union of every figure's (and the ablations') submissions, deduped
+    by recipe key but kept in first-seen order."""
+    seen = set()
+    recipes = []
+    for module in [*MODULES.values(), ablations]:
+        enumerate_ = getattr(module, "recipes", None)
+        if enumerate_ is None:
+            continue
+        for recipe in enumerate_(scale):
+            key = recipe.key()
+            if key not in seen:
+                seen.add(key)
+                recipes.append(recipe)
+    return recipes
+
+
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int,
+        default=int(os.environ.get("REPRO_JOBS", "0")),
+        help="worker processes for the up-front simulation fan-out "
+             "(<=0: one per CPU; default REPRO_JOBS or one per CPU)",
+    )
+    parser.add_argument("outfile", nargs="?", default="experiments_output.txt")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     scale = os.environ.get("REPRO_SCALE", "standard")
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiments_output.txt"
+    out_path = args.outfile
     t_start = time.time()
+
+    recipes = collect_recipes(scale)
+    print(f"submitting {len(recipes)} unique simulations "
+          f"(jobs={args.jobs if args.jobs > 0 else 'auto'})")
+    run_many(recipes, jobs=args.jobs)
+    print(f"simulations done in {time.time() - t_start:.0f}s; "
+          f"formatting figures")
     with open(out_path, "w") as out:
         def emit(text=""):
             print(text)

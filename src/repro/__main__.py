@@ -7,6 +7,7 @@ Commands
 ``run``                  run one workload/scheme/policy combination
 ``sidechannel``          prime+probe campaign across designs
 ``config``               print the scaled and paper-scale configurations
+``cache``                inspect or clear the persistent result cache
 """
 
 from __future__ import annotations
@@ -83,6 +84,23 @@ def _cmd_config(_args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.sim.parallel import cache_dir, cache_enabled, cache_info
+    from repro.sim.parallel import clear_result_cache
+
+    if args.action == "clear":
+        removed = clear_result_cache()
+        print(f"removed {removed} cached result(s) from {cache_dir()}")
+        return 0
+    info = cache_info()
+    state = "on" if cache_enabled() else "off (REPRO_CACHE)"
+    print(f"dir: {info['path']}")
+    print(f"state: {state}")
+    print(f"entries: {info['entries']}")
+    print(f"bytes: {info['bytes']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--l2", default="512KB")
 
     sub.add_parser("config", help="print Table I (paper vs scaled)")
+
+    p = sub.add_parser("cache", help="inspect/clear the on-disk result cache")
+    p.add_argument("action", nargs="?", default="info",
+                   choices=("info", "clear"))
     return parser
 
 
@@ -124,6 +146,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "sidechannel": _cmd_sidechannel,
         "config": _cmd_config,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

@@ -52,6 +52,11 @@ class SetAssociativeCache:
         Used in error messages and repr.
     """
 
+    __slots__ = (
+        "sets", "ways", "name", "index_shift", "set_mask", "blocks",
+        "index", "policy",
+    )
+
     def __init__(
         self,
         sets: int,
@@ -68,6 +73,7 @@ class SetAssociativeCache:
         self.ways = ways
         self.name = name
         self.index_shift = index_shift
+        self.set_mask = sets - 1  # precomputed: probed on every access
         self.blocks = [[CacheBlock() for _ in range(ways)] for _ in range(sets)]
         self.index = [dict() for _ in range(sets)]  # addr -> way
         self.policy = policy
@@ -76,7 +82,7 @@ class SetAssociativeCache:
     # -- geometry -----------------------------------------------------------
 
     def set_index(self, addr: int) -> int:
-        return (addr >> self.index_shift) & (self.sets - 1)
+        return (addr >> self.index_shift) & self.set_mask
 
     def ways_of(self, set_idx: int) -> list[CacheBlock]:
         return self.blocks[set_idx]
@@ -90,7 +96,7 @@ class SetAssociativeCache:
         lookup "considers only the blocks with the Relocated state off"
         (III-C1); relocated blocks are reached via the directory pointer.
         """
-        set_idx = self.set_index(addr)
+        set_idx = (addr >> self.index_shift) & self.set_mask
         way = self.index[set_idx].get(addr, -1)
         if way >= 0 and self.blocks[set_idx][way].relocated:
             return -1

@@ -33,7 +33,7 @@ class EnergyTable:
     interconnect_hop: float = 1.5
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyModel:
     """Accumulates event counts and reports energy / EPI breakdowns."""
 

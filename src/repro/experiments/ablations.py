@@ -16,13 +16,66 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
     speedups_vs_baseline,
 )
 from repro.params import CHARParams, scaled_config
+
+
+def recipes(scale=None) -> list:
+    """Every cacheable run ``main()`` will request (for up-front
+    submission).  The oracle-gap study's OracleZIVScheme runs are excluded:
+    they take a live oracle object and bypass the recipe layer."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    out = baseline_recipes_for(mixes)
+    # Property ladder.
+    for policy, scheme in (
+        ("lru", "ziv:notinprc"),
+        ("lru", "ziv:lrunotinprc"),
+        ("lru", "ziv:likelydead"),
+        ("hawkeye", "ziv:maxrrpvnotinprc"),
+        ("hawkeye", "ziv:mrlikelydead"),
+    ):
+        out += [recipe_for(wl, scheme, policy, l2="512KB") for wl in mixes]
+    # Round-robin nextRS vs lowest-set-bit.
+    for rr in (True, False):
+        out += [
+            recipe_for(
+                wl,
+                "ziv:mrlikelydead",
+                "hawkeye",
+                l2="512KB",
+                scheme_kwargs={"round_robin": rr},
+            )
+            for wl in mixes
+        ]
+    # CHAR threshold variants.
+    for char_params in (
+        None,
+        CHARParams(initial_d=6, min_d=6),
+        CHARParams(initial_d=3, min_d=3),
+        CHARParams(initial_d=1, min_d=1),
+    ):
+        cfg = scaled_config("512KB")
+        if char_params is not None:
+            cfg = cfg.replace(char=char_params)
+        out += [
+            recipe_for(wl, "ziv:likelydead", "lru", config=cfg)
+            for wl in mixes
+        ]
+    # Oracle-gap study: the realisable designs' lock-step runs.
+    for scheme in ("ziv:notinprc", "ziv:likelydead"):
+        out += [
+            recipe_for(wl, scheme, "lru", l2="512KB", scheduling="lockstep")
+            for wl in mixes
+        ]
+    return out
 
 
 def run_property_ladder(scale=None) -> FigureResult:

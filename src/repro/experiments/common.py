@@ -6,9 +6,14 @@ selects how many mixes and how many accesses per core the experiment uses:
 ``"standard"`` tightens the statistics, and ``"full"`` mirrors the paper's
 72-mix population (slow in pure Python).
 
-Simulation results are memoised per process, keyed by the complete run
-recipe, because the figures overlap heavily (the I-LRU-256KB baseline
-appears in every normalisation).
+Simulation results are resolved through the layered cache of
+:mod:`repro.sim.parallel`: an in-process memo (the figures overlap
+heavily -- the I-LRU-256KB baseline appears in every normalisation) that
+reads through to the persistent on-disk result cache, so a recipe that
+completed in *any* session is never simulated again.  Figure modules also
+expose ``recipes(scale)`` enumerating the runs their ``run(scale)`` will
+request, which lets ``scripts/run_all_experiments.py`` submit everything
+up front to :func:`repro.sim.parallel.run_many` and fan out over cores.
 """
 
 from __future__ import annotations
@@ -16,13 +21,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.cache.replacement import NextUseOracle
-from repro.hierarchy.cmp import CacheHierarchy
-from repro.params import SystemConfig, scaled_config, scaled_manycore_config
-from repro.schemes import make_scheme
-from repro.sim.engine import Simulation, SimResult
+from repro.params import SystemConfig
+from repro.sim.engine import SimResult
 from repro.sim.metrics import geomean, mix_speedup
-from repro.sim.trace import Workload, lockstep_stream
+from repro.sim.parallel import RunRecipe, fetch_or_run, make_recipe
+from repro.sim.trace import Workload
 from repro.workloads.mixes import heterogeneous_mixes, homogeneous_mixes
 from repro.workloads.multithreaded import multithreaded_workload
 
@@ -106,14 +109,15 @@ class FigureResult:
 # ---------------------------------------------------------------------------
 
 _MIX_CACHE: dict = {}
-_RESULT_CACHE: dict = {}
-_ORACLE_CACHE: dict = {}
 
 
 def clear_caches() -> None:
+    """Drop the in-process workload and result memos (the persistent disk
+    cache is untouched; use ``python -m repro cache clear`` for that)."""
+    from repro.sim.parallel import clear_memo
+
     _MIX_CACHE.clear()
-    _RESULT_CACHE.clear()
-    _ORACLE_CACHE.clear()
+    clear_memo()
 
 
 def mix_population(scale: Scale, cores: int = 8, seed: int = 7) -> list[Workload]:
@@ -145,11 +149,35 @@ def mt_workload(app: str, scale: Scale, cores: int = 8, seed: int = 7) -> Worklo
     return _MIX_CACHE[key]
 
 
-def _oracle_for(workload: Workload) -> NextUseOracle:
-    key = id(workload)
-    if key not in _ORACLE_CACHE:
-        _ORACLE_CACHE[key] = NextUseOracle(lockstep_stream(workload))
-    return _ORACLE_CACHE[key]
+def recipe_for(
+    workload: Workload,
+    scheme: str,
+    policy: str = "lru",
+    l2: str = "256KB",
+    llc_scale: int = 1,
+    cores: int = 8,
+    directory_mode: str = "mesi",
+    directory_factor: float = 2.0,
+    scheduling: str = "timing",
+    config: SystemConfig | None = None,
+    scheme_kwargs: dict | None = None,
+) -> RunRecipe:
+    """The :class:`RunRecipe` that :func:`cached_run` would execute for
+    these arguments -- used by the figure modules' ``recipes(scale)``
+    enumerations to submit work up front."""
+    return make_recipe(
+        workload,
+        scheme,
+        policy=policy,
+        scheduling=scheduling,
+        config=config,
+        l2=l2,
+        llc_scale=llc_scale,
+        cores=cores,
+        directory_mode=directory_mode,
+        directory_factor=directory_factor,
+        scheme_kwargs=scheme_kwargs,
+    )
 
 
 def cached_run(
@@ -167,37 +195,25 @@ def cached_run(
 ) -> SimResult:
     """Run (or fetch) one simulation.
 
-    ``policy="belady"`` automatically builds the lock-step MIN oracle and
-    forces lock-step scheduling, per the paper's footnote 2."""
-    kw_key = tuple(sorted((scheme_kwargs or {}).items()))
-    key = (
-        id(workload), scheme, policy, l2, llc_scale, cores, directory_mode,
-        directory_factor, scheduling, config, kw_key,
-    )
-    if key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
-    if config is None:
-        config = scaled_config(
-            l2,
+    Resolution order: in-process memo, persistent disk cache, fresh run
+    (see :mod:`repro.sim.parallel`).  ``policy="belady"`` automatically
+    builds the lock-step MIN oracle and forces lock-step scheduling, per
+    the paper's footnote 2."""
+    return fetch_or_run(
+        recipe_for(
+            workload,
+            scheme,
+            policy=policy,
+            l2=l2,
+            llc_scale=llc_scale,
             cores=cores,
             directory_mode=directory_mode,
             directory_factor=directory_factor,
-            llc_scale=llc_scale,
+            scheduling=scheduling,
+            config=config,
+            scheme_kwargs=scheme_kwargs,
         )
-    oracle = None
-    if policy == "belady":
-        oracle = _oracle_for(workload)
-        scheduling = "lockstep"
-    scheme_obj = make_scheme(scheme, **(scheme_kwargs or {}))
-    hierarchy = CacheHierarchy(
-        config, scheme_obj, llc_policy=policy, oracle=oracle
     )
-    sim = Simulation(
-        hierarchy, workload, scheduling=scheduling, llc_policy_name=policy
-    )
-    result = sim.run()
-    _RESULT_CACHE[key] = result
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -233,5 +249,15 @@ def baseline_runs_for(
     """The universal normalisation baseline: I-LRU with the 256KB L2."""
     return [
         cached_run(wl, "inclusive", "lru", l2="256KB", cores=cores)
+        for wl in mixes
+    ]
+
+
+def baseline_recipes_for(
+    mixes: list[Workload], cores: int = 8
+) -> list[RunRecipe]:
+    """Recipe form of :func:`baseline_runs_for`."""
+    return [
+        recipe_for(wl, "inclusive", "lru", l2="256KB", cores=cores)
         for wl in mixes
     ]

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
     speedups_vs_baseline,
 )
 
@@ -26,6 +28,17 @@ CONFIGS = (
     ("inclusive", "hawkeye", "I-Hawkeye"),
     ("noninclusive", "hawkeye", "NI-Hawkeye"),
 )
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    out = baseline_recipes_for(mixes)
+    for l2 in L2_POINTS:
+        for scheme, policy, _label in CONFIGS:
+            out += [recipe_for(wl, scheme, policy, l2=l2) for wl in mixes]
+    return out
 
 
 def run(scale=None) -> FigureResult:

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     normalized_total,
 )
 from repro.experiments.fig01_motivation import CONFIGS, L2_POINTS
+from repro.experiments.fig01_motivation import recipes  # noqa: F401  (same grid)
 
 
 def run(scale=None) -> FigureResult:

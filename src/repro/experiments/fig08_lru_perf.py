@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
     speedups_vs_baseline,
 )
 
@@ -33,6 +35,17 @@ SCHEMES = (
     ("ziv:lrunotinprc", "ZIV-LRUNotInPrC"),
     ("ziv:likelydead", "ZIV-LikelyDead"),
 )
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    out = baseline_recipes_for(mixes)
+    for l2 in L2_POINTS:
+        for scheme, _label in SCHEMES:
+            out += [recipe_for(wl, scheme, "lru", l2=l2) for wl in mixes]
+    return out
 
 
 def run(scale=None) -> FigureResult:

@@ -9,12 +9,23 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
 )
 from repro.sim.metrics import geomean, mix_speedup
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    return baseline_recipes_for(mixes) + [
+        recipe_for(wl, "ziv:likelydead", "lru", l2="512KB") for wl in mixes
+    ]
 
 
 def run(scale=None) -> FigureResult:

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     normalized_total,
 )
 from repro.experiments.fig08_lru_perf import L2_POINTS, SCHEMES
+from repro.experiments.fig08_lru_perf import recipes  # noqa: F401  (same grid)
 
 
 def run(scale=None) -> FigureResult:

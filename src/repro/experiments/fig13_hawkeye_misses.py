@@ -12,6 +12,7 @@ from repro.experiments.common import (
     normalized_total,
 )
 from repro.experiments.fig11_hawkeye_perf import L2_POINTS, SCHEMES
+from repro.experiments.fig11_hawkeye_perf import recipes  # noqa: F401  (same grid)
 
 
 def run(scale=None) -> FigureResult:

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
     speedups_vs_baseline,
 )
 
@@ -31,6 +33,20 @@ HAWKEYE_SCHEMES = (
     ("ziv:maxrrpvnotinprc", "ZIV-MRNotInPrC"),
     ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
 )
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    out = baseline_recipes_for(mixes)
+    for policy, schemes in (("lru", LRU_SCHEMES), ("hawkeye", HAWKEYE_SCHEMES)):
+        for scheme, _label in schemes:
+            out += [
+                recipe_for(wl, scheme, policy, l2="1MB", llc_scale=2)
+                for wl in mixes
+            ]
+    return out
 
 
 def run(scale=None) -> FigureResult:

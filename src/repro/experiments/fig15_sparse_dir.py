@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     FigureResult,
+    baseline_recipes_for,
     baseline_runs_for,
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
     speedups_vs_baseline,
 )
 
@@ -28,6 +30,28 @@ SCHEMES = (
     ("noninclusive", "NI"),
     ("ziv:mrlikelydead", "ZIV-MRLikelyDead"),
 )
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    out = baseline_recipes_for(mixes)
+    for mode in ("mesi", "zerodev"):
+        for factor in FACTORS:
+            for scheme, _label in SCHEMES:
+                out += [
+                    recipe_for(
+                        wl,
+                        scheme,
+                        "hawkeye",
+                        l2="256KB",
+                        directory_mode=mode,
+                        directory_factor=factor,
+                    )
+                    for wl in mixes
+                ]
+    return out
 
 
 def run(scale=None) -> FigureResult:

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     cached_run,
     get_scale,
     mt_workload,
+    recipe_for,
 )
 from repro.params import scaled_manycore_config
 from repro.sim.metrics import mix_speedup
@@ -29,6 +30,29 @@ SCHEMES = (
     ("ziv:notinprc", "ZIV-NotInPrC"),
     ("ziv:likelydead", "ZIV-LikelyDead"),
 )
+
+
+def recipes(scale=None, policy: str = "lru", schemes=SCHEMES) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    out = []
+    for app in APPS:
+        wl = mt_workload(app, scale, cores=8)
+        out.append(recipe_for(wl, "inclusive", policy, l2="512KB"))
+        out += [
+            recipe_for(wl, scheme, policy, l2="512KB")
+            for scheme, _label in schemes
+        ]
+    mc_cfg = scaled_manycore_config()
+    wl = mt_workload("tpce", scale, cores=mc_cfg.cores)
+    out.append(
+        recipe_for(wl, "inclusive", policy, cores=mc_cfg.cores, config=mc_cfg)
+    )
+    out += [
+        recipe_for(wl, scheme, policy, cores=mc_cfg.cores, config=mc_cfg)
+        for scheme, _label in schemes
+    ]
+    return out
 
 
 def run(scale=None, policy: str = "lru",

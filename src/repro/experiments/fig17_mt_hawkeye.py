@@ -21,6 +21,13 @@ SCHEMES = (
 )
 
 
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    return fig16_mt_lru.recipes(
+        scale=get_scale(scale), policy="hawkeye", schemes=SCHEMES
+    )
+
+
 def run(scale=None) -> FigureResult:
     return fig16_mt_lru.run(
         scale=get_scale(scale),

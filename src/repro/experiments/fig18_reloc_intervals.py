@@ -18,6 +18,7 @@ from repro.experiments.common import (
     get_scale,
     mix_population,
     mt_workload,
+    recipe_for,
 )
 from repro.workloads.multithreaded import MT_APP_NAMES
 
@@ -26,6 +27,22 @@ DESIGNS = (
     ("ziv:maxrrpvnotinprc", "hawkeye", "MRNotInPrC(HK)"),
     ("ziv:mrlikelydead", "hawkeye", "MRLikelyDead(HK)"),
 )
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    workloads = list(mix_population(scale))
+    workloads += [
+        mt_workload(app, scale, cores=8)
+        for app in MT_APP_NAMES
+        if app != "tpce"
+    ]
+    return [
+        recipe_for(wl, scheme, policy, l2="512KB")
+        for scheme, policy, _label in DESIGNS
+        for wl in workloads
+    ]
 
 
 def run(scale=None) -> FigureResult:

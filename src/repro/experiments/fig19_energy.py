@@ -18,9 +18,22 @@ from repro.experiments.common import (
     cached_run,
     get_scale,
     mix_population,
+    recipe_for,
 )
 
 L2_POINTS = ("256KB", "512KB", "768KB")
+
+
+def recipes(scale=None) -> list:
+    """Every run ``run(scale)`` will request (for up-front submission)."""
+    scale = get_scale(scale)
+    mixes = mix_population(scale)
+    return [
+        recipe_for(wl, scheme, "hawkeye", l2=l2)
+        for l2 in L2_POINTS
+        for scheme in ("inclusive", "ziv:mrlikelydead")
+        for wl in mixes
+    ]
 
 
 def run(scale=None) -> FigureResult:

@@ -92,39 +92,51 @@ class CacheHierarchy:
         global_pos: int = 0,
     ) -> int:
         """Run one memory access through the hierarchy; returns its
-        latency in cycles."""
+        latency in cycles.
+
+        This is the per-access inner loop: the L1/L2 probes are inlined
+        (one set-index computation and one dict lookup per level, reused
+        by the hit path) instead of the generic ``probe``/``touch`` pair.
+        Private caches never hold Relocated blocks, so the relocation
+        filter in :meth:`SetAssociativeCache.probe` is not needed here.
+        """
         ctx = AccessContext(core, pc, is_write, global_pos, cycle)
         cs = self.stats.cores[core]
         cs.accesses += 1
         priv = self.private[core]
-        self.energy.l1_accesses += 1
+        energy = self.energy
+        energy.l1_accesses += 1
 
-        if priv.in_l1(addr):
+        l1 = priv.l1
+        s1 = (addr >> l1.index_shift) & l1.set_mask
+        w1 = l1.index[s1].get(addr, -1)
+        if w1 >= 0:
             cs.l1_hits += 1
             extra = 0
             if is_write:
                 # A dirty private copy is already in M (dirty => sole owner
                 # under MESI), so the upgrade lookup can be skipped.
-                s = priv.l1.set_index(addr)
-                if not priv.l1.blocks[s][priv.l1.index[s][addr]].dirty:
+                if not l1.blocks[s1][w1].dirty:
                     extra = self._write_upgrade(core, addr)
-            priv.hit_l1(addr, ctx)
+            priv.hit_l1_at(s1, w1, ctx)
             if self._wants_hints:
                 self.scheme.on_private_hit(addr, ctx)
             return priv.l1_latency + extra
 
         cs.l1_misses += 1
-        self.energy.l2_accesses += 1
-        if priv.in_l2(addr):
+        energy.l2_accesses += 1
+        l2 = priv.l2
+        s2 = (addr >> l2.index_shift) & l2.set_mask
+        w2 = l2.index[s2].get(addr, -1)
+        if w2 >= 0:
             cs.l2_hits += 1
-            s = priv.l2.set_index(addr)
-            l2_blk = priv.l2.blocks[s][priv.l2.index[s][addr]]
+            l2_blk = l2.blocks[s2][w2]
             if self._prefetch_on and l2_blk.prefetched:
                 self.stats.prefetch_useful += 1
             extra = 0
             if is_write and not l2_blk.dirty:
                 extra = self._write_upgrade(core, addr)
-            notices = priv.hit_l2(addr, ctx)
+            notices = priv.hit_l2_at(addr, s2, w2, ctx)
             self._process_notices(core, notices, ctx)
             if self._wants_hints:
                 self.scheme.on_private_hit(addr, ctx)

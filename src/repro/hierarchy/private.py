@@ -53,6 +53,8 @@ class PrivateEviction:
 class PrivateHierarchy:
     """One core's L1 + L2 with the eviction-notice protocol."""
 
+    __slots__ = ("core", "l1", "l2", "l1_latency", "l2_latency")
+
     def __init__(
         self, core: int, l1_geom: CacheGeometry, l2_geom: CacheGeometry
     ) -> None:
@@ -83,16 +85,32 @@ class PrivateHierarchy:
     # -- hits ----------------------------------------------------------------
 
     def hit_l1(self, addr: int, ctx: AccessContext) -> None:
-        way = self.l1.touch(addr, ctx)
+        l1 = self.l1
+        set_idx = l1.set_index(addr)
+        self.hit_l1_at(set_idx, l1.index[set_idx][addr], ctx)
+
+    def hit_l1_at(self, set_idx: int, way: int, ctx: AccessContext) -> None:
+        """Fast-path L1 hit when the caller already located the block
+        (the hierarchy's access loop probes before dispatching)."""
+        l1 = self.l1
+        l1.policy.on_hit(set_idx, way, ctx)
         if ctx.is_write:
-            self.l1.block_at(self.l1.set_index(addr), way).dirty = True
+            l1.blocks[set_idx][way].dirty = True
 
     def hit_l2(self, addr: int, ctx: AccessContext) -> list[PrivateEviction]:
         """L2 hit after an L1 miss: count the demand reuse and pull the
         block up into the L1.  Returns any resulting eviction notices."""
-        set_idx = self.l2.set_index(addr)
-        way = self.l2.touch(addr, ctx)
-        blk = self.l2.block_at(set_idx, way)
+        l2 = self.l2
+        set_idx = l2.set_index(addr)
+        return self.hit_l2_at(addr, set_idx, l2.index[set_idx][addr], ctx)
+
+    def hit_l2_at(
+        self, addr: int, set_idx: int, way: int, ctx: AccessContext
+    ) -> list[PrivateEviction]:
+        """Fast-path L2 hit at a known (set, way) location."""
+        l2 = self.l2
+        l2.policy.on_hit(set_idx, way, ctx)
+        blk = l2.blocks[set_idx][way]
         blk.demand_reuses += 1
         blk.prefetched = False  # first demand touch ends prefetch status
         if ctx.is_write:

@@ -9,6 +9,13 @@ from repro.sim.metrics import (
     speedup_summary,
     weighted_speedup,
 )
+from repro.sim.parallel import (
+    RunRecipe,
+    cache_info,
+    clear_result_cache,
+    make_recipe,
+    run_many,
+)
 from repro.sim.report import compare_results, describe_result
 from repro.sim.sweep import SweepPoint, SweepRow, format_sweep, run_sweep
 from repro.sim.tracefile import load_workload, save_workload
@@ -26,6 +33,11 @@ __all__ = [
     "normalized_speedups",
     "speedup_summary",
     "weighted_speedup",
+    "RunRecipe",
+    "make_recipe",
+    "run_many",
+    "cache_info",
+    "clear_result_cache",
     "describe_result",
     "compare_results",
     "SweepPoint",

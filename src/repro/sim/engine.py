@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.stats import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.energy.model import EnergyModel
 from repro.sim.trace import Workload, interleave_records
 
 
@@ -41,8 +44,8 @@ class SimResult:
     scheme: str
     policy: str
     workload: str
-    energy: object = None
-    scheme_stats: dict = None
+    energy: Optional["EnergyModel"] = None
+    scheme_stats: Optional[dict] = None
 
     @property
     def ipc_per_core(self) -> list[float]:
@@ -95,18 +98,27 @@ class Simulation:
     def _run_timing(self) -> int:
         h = self.hierarchy
         base_cpi = h.config.core.base_cpi
-        stats = h.stats
-        # (ready_cycle, core, next_index) min-heap
-        heap = [(0, core, 0) for core in range(self.workload.cores)]
-        heapq.heapify(heap)
+        # Hot loop: every per-access attribute lookup is hoisted into a
+        # local; the heap functions and the access method dominate.
+        access = h.access
+        core_stats = h.stats.cores
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         traces = [t.records for t in self.workload]
+        trace_ends = [len(t) for t in traces]
+        # (ready_cycle, core, next_index) min-heap.  Cores with an empty
+        # trace never issue: they finish instantly with cycles=0 and must
+        # not seed the heap (traces[core][0] would raise).
+        heap = [(0, core, 0) for core, end in enumerate(trace_ends) if end]
+        heapq.heapify(heap)
         finish = [0] * self.workload.cores
         global_pos = 0
         while heap:
-            ready, core, idx = heapq.heappop(heap)
+            ready, core, idx = heappop(heap)
             rec = traces[core][idx]
-            issue = ready + int(rec.gap * base_cpi)
-            latency = h.access(
+            gap = rec.gap
+            issue = ready + int(gap * base_cpi)
+            latency = access(
                 core,
                 rec.addr,
                 rec.is_write,
@@ -116,10 +128,11 @@ class Simulation:
             )
             global_pos += 1
             done = issue + latency
-            cs = stats.cores[core]
-            cs.instructions += rec.gap + 1
-            if idx + 1 < len(traces[core]):
-                heapq.heappush(heap, (done, core, idx + 1))
+            cs = core_stats[core]
+            cs.instructions += gap + 1
+            idx += 1
+            if idx < trace_ends[core]:
+                heappush(heap, (done, core, idx))
             else:
                 finish[core] = done
                 cs.cycles = done
@@ -129,10 +142,11 @@ class Simulation:
 
     def _run_lockstep(self) -> int:
         h = self.hierarchy
-        stats = h.stats
+        access = h.access
+        core_stats = h.stats.cores
         pos = 0
         for core, rec in interleave_records(self.workload):
-            h.access(
+            access(
                 core,
                 rec.addr,
                 rec.is_write,
@@ -140,9 +154,9 @@ class Simulation:
                 cycle=pos,
                 global_pos=pos,
             )
-            stats.cores[core].instructions += rec.gap + 1
+            core_stats[core].instructions += rec.gap + 1
             pos += 1
-        for cs in stats.cores:
+        for cs in core_stats:
             cs.cycles = pos  # lockstep mode carries no timing meaning
         return pos
 

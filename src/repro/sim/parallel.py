@@ -1,0 +1,413 @@
+"""Parallel execution layer with a persistent on-disk result cache.
+
+Cache-simulation studies are embarrassingly parallel across runs: every
+run is a deterministic function of its *recipe* (configuration, scheme,
+LLC policy, scheduling mode, workload) and shares no state with any other
+run.  This module exploits that twice over:
+
+* :func:`run_many` fans fully specified :class:`RunRecipe`\\ s out over a
+  ``multiprocessing`` pool and merges the :class:`SimResult`\\ s back in
+  submission order, so the output is bit-identical to a serial loop.
+
+* Every completed recipe is stored in a **persistent result cache** under
+  ``.repro_cache/`` keyed by a stable content hash of the complete recipe
+  (workload records included) plus a code-version tag.  A recipe that ever
+  completed -- in any process, any session -- is never simulated again.
+
+Environment knobs
+-----------------
+``REPRO_CACHE=off``       disable the disk cache (read *and* write)
+``REPRO_CACHE_DIR=path``  relocate the cache (default ``./.repro_cache``)
+``REPRO_MP_START=method`` multiprocessing start method (default: ``fork``
+                          where available, else ``spawn``; the worker is
+                          spawn-safe either way)
+
+Invalidation
+------------
+Keys embed :data:`CACHE_VERSION`.  Bump it whenever a change alters
+simulation *outcomes* (counters, timing, replacement behaviour); pure
+refactors and speedups keep it.  ``python -m repro cache clear`` wipes the
+cache manually.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.params import SystemConfig
+from repro.sim.engine import SimResult, Simulation
+from repro.sim.trace import Workload
+
+#: Version tag baked into every cache key.  Bump on any change that
+#: alters simulation outcomes; stale entries then miss instead of lying.
+CACHE_VERSION = "1"
+
+_DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# ---------------------------------------------------------------------------
+# Recipes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class RunRecipe:
+    """A fully specified, picklable simulation run.
+
+    Carries everything a worker process needs to rebuild the hierarchy
+    from scratch: the (frozen, picklable) :class:`SystemConfig`, the
+    scheme/policy names plus keyword arguments as sorted item tuples, the
+    scheduling mode, and the workload itself.  ``policy="belady"`` recipes
+    must use ``scheduling="lockstep"``; the worker rebuilds the next-use
+    oracle from the workload's canonical lock-step stream.
+    """
+
+    workload: Workload
+    scheme: str
+    config: SystemConfig
+    policy: str = "lru"
+    scheduling: str = "timing"
+    scheme_kwargs: tuple = ()
+    policy_kwargs: tuple = ()
+
+    def describe(self) -> str:
+        """Canonical JSON description -- the hash preimage of :meth:`key`."""
+        from repro.config_io import config_to_dict
+
+        return json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "workload": self.workload.fingerprint(),
+                "scheme": self.scheme,
+                "policy": self.policy,
+                "scheduling": self.scheduling,
+                "scheme_kwargs": list(self.scheme_kwargs),
+                "policy_kwargs": list(self.policy_kwargs),
+                "config": config_to_dict(self.config),
+            },
+            sort_keys=True,
+        )
+
+    def key(self) -> str:
+        """Stable content hash identifying this recipe across processes,
+        sessions and machines (cached after the first call)."""
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = hashlib.sha256(self.describe().encode()).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def execute(self) -> SimResult:
+        """Run the simulation this recipe describes (no caching)."""
+        from repro.hierarchy.cmp import CacheHierarchy
+        from repro.schemes import make_scheme
+
+        oracle = None
+        if self.policy == "belady":
+            oracle = _oracle_for(self.workload)
+        scheme = make_scheme(self.scheme, **dict(self.scheme_kwargs))
+        hierarchy = CacheHierarchy(
+            self.config,
+            scheme,
+            llc_policy=self.policy,
+            oracle=oracle,
+            policy_kwargs=dict(self.policy_kwargs) or None,
+        )
+        sim = Simulation(
+            hierarchy,
+            self.workload,
+            scheduling=self.scheduling,
+            llc_policy_name=self.policy,
+        )
+        return sim.run()
+
+
+def make_recipe(
+    workload: Workload,
+    scheme: str,
+    policy: str = "lru",
+    scheduling: str = "timing",
+    config: Optional[SystemConfig] = None,
+    l2: str = "256KB",
+    llc_scale: int = 1,
+    cores: int = 8,
+    directory_mode: str = "mesi",
+    directory_factor: float = 2.0,
+    scheme_kwargs: Optional[dict] = None,
+    policy_kwargs: Optional[dict] = None,
+) -> RunRecipe:
+    """Build a :class:`RunRecipe` with the same defaults the experiment
+    modules use.
+
+    ``config`` wins when given; otherwise a scaled configuration is built
+    from the ``l2``/``cores``/directory knobs.  ``policy="belady"``
+    forces lock-step scheduling (the MIN oracle is only defined on the
+    canonical lock-step stream, paper footnote 2)."""
+    from repro.params import scaled_config
+
+    if config is None:
+        config = scaled_config(
+            l2,
+            cores=cores,
+            directory_mode=directory_mode,
+            directory_factor=directory_factor,
+            llc_scale=llc_scale,
+        )
+    if policy == "belady":
+        scheduling = "lockstep"
+    return RunRecipe(
+        workload=workload,
+        scheme=scheme,
+        config=config,
+        policy=policy,
+        scheduling=scheduling,
+        scheme_kwargs=tuple(sorted((scheme_kwargs or {}).items())),
+        policy_kwargs=tuple(sorted((policy_kwargs or {}).items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-process memo + next-use-oracle memo
+# ---------------------------------------------------------------------------
+
+_MEMO: dict = {}  # recipe key -> SimResult
+_ORACLE_MEMO: dict = {}  # workload fingerprint -> NextUseOracle
+
+
+def _oracle_for(workload: Workload):
+    from repro.cache.replacement import NextUseOracle
+    from repro.sim.trace import lockstep_stream
+
+    fp = workload.fingerprint()
+    oracle = _ORACLE_MEMO.get(fp)
+    if oracle is None:
+        oracle = _ORACLE_MEMO[fp] = NextUseOracle(lockstep_stream(workload))
+    return oracle
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (the disk cache is untouched)."""
+    _MEMO.clear()
+    _ORACLE_MEMO.clear()
+
+
+# ---------------------------------------------------------------------------
+# Persistent disk cache
+# ---------------------------------------------------------------------------
+
+
+def cache_enabled() -> bool:
+    """The disk cache is on unless REPRO_CACHE is off/0/false/no."""
+    return os.environ.get("REPRO_CACHE", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_CACHE_DIR)
+
+
+def _cache_path(key: str) -> Path:
+    return cache_dir() / f"{key}.pkl"
+
+
+def load_result(key: str) -> Optional[SimResult]:
+    """Fetch one result from disk; a corrupt/unreadable entry is dropped
+    and reported as a miss."""
+    path = _cache_path(key)
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_result(key: str, result: SimResult) -> None:
+    """Atomically persist one result (tmp file + rename, so concurrent
+    writers of the same key are safe)."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, _cache_path(key))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def cache_info() -> dict:
+    """Summary of the disk cache: location, entry count, total bytes."""
+    directory = cache_dir()
+    entries = 0
+    size = 0
+    if directory.is_dir():
+        for p in directory.glob("*.pkl"):
+            entries += 1
+            try:
+                size += p.stat().st_size
+            except OSError:
+                pass
+    return {
+        "path": str(directory.resolve()),
+        "enabled": cache_enabled(),
+        "entries": entries,
+        "bytes": size,
+    }
+
+
+def clear_result_cache() -> int:
+    """Delete every cached result; returns the number of entries removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for p in directory.glob("*.pkl"):
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def fetch_or_run(recipe: RunRecipe) -> SimResult:
+    """Resolve one recipe through the cache layers: in-process memo, then
+    disk, then a fresh (serial) simulation.  Completed runs are written
+    back to both layers."""
+    key = recipe.key()
+    result = _MEMO.get(key)
+    if result is not None:
+        return result
+    if cache_enabled():
+        result = load_result(key)
+        if result is not None:
+            _MEMO[key] = result
+            return result
+    result = recipe.execute()
+    _MEMO[key] = result
+    if cache_enabled():
+        store_result(key, result)
+    return result
+
+
+def _execute_recipe(item: "tuple[str, RunRecipe]") -> "tuple[str, SimResult]":
+    """Pool worker: rebuild the hierarchy from the pickled recipe and run.
+
+    Module-level (not a closure) so it imports cleanly under the ``spawn``
+    start method."""
+    key, recipe = item
+    return key, recipe.execute()
+
+
+def _start_method() -> str:
+    wanted = os.environ.get("REPRO_MP_START")
+    available = multiprocessing.get_all_start_methods()
+    if wanted:
+        if wanted not in available:
+            raise ValueError(
+                f"REPRO_MP_START={wanted!r} not available; "
+                f"choose from {available}"
+            )
+        return wanted
+    return "fork" if "fork" in available else "spawn"
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: None/1 -> serial, 0 or negative ->
+    one worker per CPU."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_many(
+    recipes: Sequence[RunRecipe],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list[SimResult]:
+    """Run every recipe, in parallel when ``jobs`` allows, and return the
+    results in submission order.
+
+    Duplicate recipes (same key) are simulated once and shared; recipes
+    already present in the memo or disk cache are not re-run.  With
+    ``jobs`` > 1 the misses fan out over a process pool -- the workers are
+    pure functions of their recipe, so the merged output is byte-identical
+    to the serial path.  ``jobs=None`` (or 1) runs serially in-process;
+    ``jobs<=0`` means one worker per CPU.
+
+    ``progress`` (if given) is called with a short label -- ``labels[i]``
+    when provided, else the recipe's scheme/policy/workload -- as each
+    submitted recipe is resolved."""
+    n_jobs = resolve_jobs(jobs)
+
+    def label_of(i: int, recipe: RunRecipe) -> str:
+        if labels is not None:
+            return labels[i]
+        return f"{recipe.scheme}/{recipe.policy}: {recipe.workload.name}"
+
+    keys = [r.key() for r in recipes]
+    if n_jobs <= 1:
+        out = []
+        for i, recipe in enumerate(recipes):
+            if progress is not None:
+                progress(label_of(i, recipe))
+            out.append(fetch_or_run(recipe))
+        return out
+
+    # Resolve what we can from the caches; collect unique misses.
+    pending: dict[str, RunRecipe] = {}
+    for recipe, key in zip(recipes, keys):
+        if key in _MEMO or key in pending:
+            continue
+        if cache_enabled():
+            cached = load_result(key)
+            if cached is not None:
+                _MEMO[key] = cached
+                continue
+        pending[key] = recipe
+
+    if pending:
+        items = list(pending.items())
+        if len(items) == 1:
+            completed = [_execute_recipe(items[0])]
+        else:
+            ctx = multiprocessing.get_context(_start_method())
+            with ctx.Pool(processes=min(n_jobs, len(items))) as pool:
+                completed = list(pool.imap(_execute_recipe, items))
+        for key, result in completed:
+            _MEMO[key] = result
+            if cache_enabled():
+                store_result(key, result)
+
+    out = []
+    for i, (recipe, key) in enumerate(zip(recipes, keys)):
+        if progress is not None:
+            progress(label_of(i, recipe))
+        out.append(_MEMO[key])
+    return out

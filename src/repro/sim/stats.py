@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core counters."""
 
@@ -29,7 +29,7 @@ class CoreStats:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """System-wide counters plus per-core breakdown."""
 

@@ -5,6 +5,14 @@ combinations that returns tidy rows -- the plumbing every study in
 ``examples/`` and ``benchmarks/`` otherwise reimplements.  Unlike the
 experiment modules (which mirror specific paper figures), this is the
 general-purpose API a downstream user reaches for first.
+
+Runs are resolved through :func:`repro.sim.parallel.run_many`: pass
+``jobs=N`` to fan the grid out over ``N`` worker processes (``jobs<=0``
+means one per CPU), with results merged back in grid order so the rows are
+identical to a serial sweep.  Points are identified by their *recipe key*
+(a content hash of configuration + scheme + policy + workload), so two
+points that describe the same machine share one simulation regardless of
+their labels -- including the baseline.
 """
 
 from __future__ import annotations
@@ -13,8 +21,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.params import SystemConfig
-from repro.sim.engine import SimResult, Simulation
+from repro.sim.engine import SimResult
 from repro.sim.metrics import geomean, mix_speedup
+from repro.sim.parallel import RunRecipe, run_many
 from repro.sim.trace import Workload
 
 
@@ -26,6 +35,14 @@ class SweepPoint:
     config: SystemConfig
     scheme: str
     policy: str = "lru"
+
+    def recipe(self, workload: Workload) -> RunRecipe:
+        return RunRecipe(
+            workload=workload,
+            scheme=self.scheme,
+            config=self.config,
+            policy=self.policy,
+        )
 
 
 @dataclass
@@ -50,45 +67,38 @@ def run_sweep(
     workloads: Sequence[Workload],
     baseline: Optional[SweepPoint] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> list[SweepRow]:
     """Run every point over every workload.
 
     ``baseline`` defaults to the first point; per-workload speedups are
-    computed against the baseline's run of the same workload.
+    computed against the baseline's run of the same workload.  Any point
+    whose recipe matches the baseline's (by content, not by object or
+    label identity) reuses the baseline runs instead of re-simulating.
+    ``jobs`` fans the whole grid out over worker processes.
     """
-    from repro.hierarchy.cmp import CacheHierarchy
-    from repro.schemes import make_scheme
-
     if not points:
         raise ValueError("sweep needs at least one point")
     if not workloads:
         raise ValueError("sweep needs at least one workload")
     baseline = baseline or points[0]
 
-    def run_point(point: SweepPoint) -> list[SimResult]:
-        out = []
-        for wl in workloads:
-            if progress is not None:
-                progress(f"{point.label}: {wl.name}")
-            hierarchy = CacheHierarchy(
-                point.config, make_scheme(point.scheme),
-                llc_policy=point.policy,
-            )
-            out.append(
-                Simulation(
-                    hierarchy, wl, llc_policy_name=point.policy
-                ).run()
-            )
-        return out
-
-    base_runs = run_point(baseline)
-    rows = []
+    # One flat submission: baseline first, then every point x workload.
+    # run_many dedups by recipe key, so a point sharing the baseline's
+    # recipe (or another point's) costs nothing extra.
+    recipes: list[RunRecipe] = [baseline.recipe(wl) for wl in workloads]
+    labels: list[str] = [f"{baseline.label}: {wl.name}" for wl in workloads]
     for point in points:
-        runs = (
-            base_runs
-            if point == baseline
-            else run_point(point)
-        )
+        for wl in workloads:
+            recipes.append(point.recipe(wl))
+            labels.append(f"{point.label}: {wl.name}")
+    results = run_many(recipes, jobs=jobs, progress=progress, labels=labels)
+
+    n = len(workloads)
+    base_runs = results[:n]
+    rows = []
+    for i, point in enumerate(points):
+        runs = results[n * (i + 1):n * (i + 2)]
         speedups = [mix_speedup(b, r) for b, r in zip(base_runs, runs)]
         rows.append(
             SweepRow(

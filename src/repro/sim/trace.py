@@ -9,6 +9,7 @@ predictor).  Traces stand in for the paper's SimPoint segments of SPEC CPU
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 
@@ -62,6 +63,18 @@ class CoreTrace:
         """Number of distinct blocks touched."""
         return len({r.addr for r in self.records})
 
+    def fingerprint(self) -> str:
+        """Content hash of the trace (name + every record).
+
+        Stable across processes and sessions -- the building block of the
+        persistent result-cache keys in :mod:`repro.sim.parallel`."""
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        update = h.update
+        for r in self.records:
+            update(b"%d,%d,%d,%d;" % (r.gap, r.addr, r.is_write, r.pc))
+        return h.hexdigest()
+
 
 class Workload:
     """A multi-core workload: one trace per core."""
@@ -84,6 +97,21 @@ class Workload:
 
     def total_accesses(self) -> int:
         return sum(len(t) for t in self.traces)
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole workload (cached after first call).
+
+        Identifies the workload in persistent result-cache keys: two
+        workloads with identical names and records hash identically no
+        matter which process generated them."""
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(self.name.encode())
+            for t in self.traces:
+                h.update(t.fingerprint().encode())
+            fp = self._fingerprint = h.hexdigest()
+        return fp
 
     def describe(self) -> str:
         apps = ", ".join(t.name for t in self.traces)

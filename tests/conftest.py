@@ -62,3 +62,22 @@ def drive(h: CacheHierarchy, accesses, seed: int = 0):
 @pytest.fixture
 def tiny():
     return tiny_config()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Keep the test run hermetic: the persistent result cache lives in a
+    throwaway per-session directory, never the repo's ``.repro_cache``.
+    (The in-process memo still persists across tests, as the experiment
+    tests rely on sharing their baseline runs.)"""
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro_cache")
+    )
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
