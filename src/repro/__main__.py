@@ -59,8 +59,14 @@ def _cmd_run(args) -> int:
         )
     from repro.sim.report import describe_result
 
-    result = run_workload(config, wl, args.scheme, llc_policy=args.policy)
+    result = run_workload(
+        config, wl, args.scheme, llc_policy=args.policy, audit=args.audit
+    )
     print(describe_result(result))
+    if result.audit is not None:
+        print(result.audit.summary())
+        if not result.audit.ok:
+            return 1
     return 0
 
 
@@ -125,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--accesses", type=int, default=4000)
     p.add_argument("--config", default=None, metavar="FILE.json",
                    help="machine description (see repro.config_io)")
+    p.add_argument("--audit", nargs="?", const="end", default=None,
+                   metavar="SPEC",
+                   help="enable the runtime invariant auditor; SPEC is a "
+                        "comma list of 'end' (default), 'every', an "
+                        "integer interval N, 'fail' (fail-fast) or "
+                        "'collect' -- e.g. --audit=100,fail.  The "
+                        "REPRO_AUDIT environment variable supplies a "
+                        "default spec (see repro.sim.audit)")
 
     p = sub.add_parser("sidechannel", help="prime+probe campaign")
     p.add_argument("--trials", type=int, default=48)

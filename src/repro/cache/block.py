@@ -130,7 +130,7 @@ class DirectoryEntry:
 
     @property
     def sharer_count(self) -> int:
-        return bin(self.sharers).count("1")
+        return self.sharers.bit_count()
 
     def has_sharer(self, core: int) -> bool:
         return bool(self.sharers >> core & 1)

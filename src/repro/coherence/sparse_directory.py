@@ -28,6 +28,13 @@ from repro.cache.block import DirectoryEntry
 from repro.params import DirectoryGeometry, LLCGeometry
 
 
+class DirectoryProtocolError(LookupError):
+    """A directory operation that the notice protocol should make
+    impossible: freeing an untracked address (double free, or a missed
+    allocate).  Carries enough context -- slice, set, address -- for
+    auditor and debug output to be actionable."""
+
+
 class DirectorySlice:
     """One set-associative directory slice with NRU replacement."""
 
@@ -52,9 +59,22 @@ class DirectorySlice:
         entry.nru = True
         return entry
 
+    def peek(self, addr: int, banks: int) -> Optional[DirectoryEntry]:
+        """Side-effect-free lookup: no NRU update.  Used by invariant
+        checks, which must not perturb replacement state."""
+        set_idx = self._set_of(addr, banks)
+        way = self.index[set_idx].get(addr, -1)
+        return self.sets[set_idx][way] if way >= 0 else None
+
     def free(self, addr: int, banks: int) -> None:
         set_idx = self._set_of(addr, banks)
-        way = self.index[set_idx].pop(addr)
+        way = self.index[set_idx].pop(addr, -1)
+        if way < 0:
+            raise DirectoryProtocolError(
+                f"{self.name}: free of untracked block {addr:#x} "
+                f"(set {set_idx}) -- double free, or the block was never "
+                f"allocated in this slice"
+            )
         self.sets[set_idx][way].reset()
 
     def _nru_victim(self, set_idx: int) -> int:
@@ -141,6 +161,13 @@ class SparseDirectory:
 
     def lookup(self, addr: int) -> Optional[DirectoryEntry]:
         entry = self._slice_of(addr).lookup(addr, self.llc_geometry.banks)
+        if entry is None and self.mode == "zerodev":
+            return self.spill.get(addr)
+        return entry
+
+    def peek(self, addr: int) -> Optional[DirectoryEntry]:
+        """Side-effect-free :meth:`lookup` (no NRU touch) for audits."""
+        entry = self._slice_of(addr).peek(addr, self.llc_geometry.banks)
         if entry is None and self.mode == "zerodev":
             return self.spill.get(addr)
         return entry

@@ -25,6 +25,7 @@ import json
 from pathlib import Path
 
 from repro.params import (
+    AuditParams,
     CacheGeometry,
     CHARParams,
     ConfigError,
@@ -45,6 +46,7 @@ _SECTIONS = {
     "core": CoreParams,
     "char": CHARParams,
     "prefetch": PrefetchParams,
+    "audit": AuditParams,
 }
 
 

@@ -50,6 +50,36 @@ PROPERTY_LADDERS = {
 }
 
 
+def compute_property(blocks, prop: str, max_rrpv: int) -> bool:
+    """Naive reference recomputation of one set's property bit.
+
+    Mirrors :meth:`PropertyTracker.refresh` but stands alone, so the
+    runtime auditor (:mod:`repro.sim.audit`) and tests can cross-check a
+    :class:`PropertyVector` bit against first principles without going
+    through the tracker's incremental maintenance."""
+    if prop == "invalid":
+        return any(not blk.valid for blk in blocks)
+    if prop == "notinprc":
+        return any(blk.valid and blk.not_in_prc for blk in blocks)
+    if prop == "lrunotinprc":
+        lru_blk = None
+        for blk in blocks:
+            if blk.valid and (lru_blk is None or blk.stamp < lru_blk.stamp):
+                lru_blk = blk
+        return lru_blk is not None and lru_blk.not_in_prc
+    if prop == "maxrrpvnotinprc":
+        return any(
+            blk.valid and blk.not_in_prc and blk.rrpv >= max_rrpv
+            for blk in blocks
+        )
+    if prop == "likelydeadnotinprc":
+        return any(
+            blk.valid and blk.not_in_prc and blk.likely_dead
+            for blk in blocks
+        )
+    raise ValueError(f"unknown property {prop!r}")
+
+
 class PropertyTracker:
     """Maintains the PVs of every tracked property for a banked LLC."""
 

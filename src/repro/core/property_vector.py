@@ -10,7 +10,13 @@ load uniformly over eligible sets (paper III-D1).
 
 from __future__ import annotations
 
-from repro.utils.bitops import decode_onehot, decoded_next_rs, encode_onehot
+from repro.utils.bitops import (
+    decode_onehot,
+    decoded_next_rs,
+    encode_onehot,
+    lowest_set_bit,
+    naive_next_rs,
+)
 
 
 class PropertyVector:
@@ -53,7 +59,7 @@ class PropertyVector:
         return self.bits == 0
 
     def population(self) -> int:
-        return bin(self.bits).count("1")
+        return self.bits.bit_count()
 
     # -- relocation-set selection ------------------------------------------------
 
@@ -74,6 +80,19 @@ class PropertyVector:
         """The set nextRS currently points to, without consuming it."""
         decoded = decoded_next_rs(self.bits, self._decoded_rs, self.n_sets)
         return decode_onehot(decoded) if decoded else -1
+
+    def naive_peek(self) -> int:
+        """Reference recomputation of :meth:`peek_relocation_set` by
+        linear scan (:func:`repro.utils.bitops.naive_next_rs`).  Used by
+        the runtime auditor and tests to validate the Algorithm 1
+        implementation against first principles."""
+        if self.bits == 0:
+            return -1
+        if self._decoded_rs == 0:
+            return decode_onehot(lowest_set_bit(self.bits))
+        return naive_next_rs(
+            self.bits, decode_onehot(self._decoded_rs), self.n_sets
+        )
 
     def force_pointer(self, set_idx: int) -> None:
         """Point the round-robin at ``set_idx`` (used by tests)."""

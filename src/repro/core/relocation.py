@@ -11,6 +11,7 @@ collects the interval histogram.
 from __future__ import annotations
 
 import math
+from collections import deque
 
 
 class _BankRelocationState:
@@ -18,7 +19,13 @@ class _BankRelocationState:
 
     def __init__(self) -> None:
         self.last_cycle = None
-        self.pending_departures: list[int] = []
+        self.pending_departures: deque[int] = deque()
+
+
+def interval_bucket(interval: int) -> int:
+    """Fig. 18 bucket of one interval: floor(log2), with intervals <= 1
+    collapsed into bucket 0."""
+    return int(math.log2(interval)) if interval > 1 else 0
 
 
 class RelocationTracker:
@@ -30,21 +37,32 @@ class RelocationTracker:
         self.fifo_depth = fifo_depth
         self.nextrs_latency = nextrs_latency
         self._state = [_BankRelocationState() for _ in range(banks)]
-        #: histogram over floor(log2(interval)); index 0 holds intervals <= 1
-        self.interval_log2_histogram: dict[int, int] = {}
+        #: exact interval counts (interval -> occurrences); the log2
+        #: histogram is derived from this, so threshold queries like
+        #: :meth:`fraction_below` stay exact for non-power-of-2 cut-offs
+        self.interval_counts: dict[int, int] = {}
         self.intervals_recorded = 0
         self.short_intervals = 0  # intervals below the nextRS latency
         self.fifo_peak = 0
         self.fifo_overflows = 0
+
+    @property
+    def interval_log2_histogram(self) -> dict[int, int]:
+        """Histogram over floor(log2(interval)); index 0 holds intervals
+        <= 1 (the paper's Fig. 18 binning)."""
+        out: dict[int, int] = {}
+        for interval, n in self.interval_counts.items():
+            bucket = interval_bucket(interval)
+            out[bucket] = out.get(bucket, 0) + n
+        return out
 
     def record(self, bank: int, cycle: int) -> None:
         """Record a relocation starting at ``cycle`` in ``bank``."""
         state = self._state[bank]
         if state.last_cycle is not None:
             interval = max(0, cycle - state.last_cycle)
-            bucket = int(math.log2(interval)) if interval > 1 else 0
-            self.interval_log2_histogram[bucket] = (
-                self.interval_log2_histogram.get(bucket, 0) + 1
+            self.interval_counts[interval] = (
+                self.interval_counts.get(interval, 0) + 1
             )
             self.intervals_recorded += 1
             if interval < self.nextrs_latency:
@@ -54,7 +72,7 @@ class RelocationTracker:
         # later of its arrival and the previous departure.
         departures = state.pending_departures
         while departures and departures[0] <= cycle:
-            departures.pop(0)
+            departures.popleft()
         start = max(cycle, departures[-1] if departures else cycle)
         departures.append(start + self.nextrs_latency)
         occupancy = len(departures)
@@ -71,21 +89,25 @@ class RelocationTracker:
         if not self.intervals_recorded:
             return []
         total = self.intervals_recorded
+        histogram = self.interval_log2_histogram
         out = []
         acc = 0
-        for bucket in sorted(self.interval_log2_histogram):
-            acc += self.interval_log2_histogram[bucket]
+        for bucket in sorted(histogram):
+            acc += histogram[bucket]
             out.append((bucket, acc / total))
         return out
 
     def fraction_below(self, cycles: int) -> float:
-        """Fraction of intervals strictly shorter than ``cycles``."""
+        """Fraction of intervals strictly shorter than ``cycles``.
+
+        Exact for any threshold: computed from the per-interval counts,
+        not the log2 buckets, so e.g. ``fraction_below(nextrs_latency)``
+        always agrees with the ``short_intervals`` counter."""
         if not self.intervals_recorded:
             return 0.0
-        limit = int(math.log2(cycles)) if cycles > 1 else 0
         count = sum(
             n
-            for bucket, n in self.interval_log2_histogram.items()
-            if bucket < limit
+            for interval, n in self.interval_counts.items()
+            if interval < cycles
         )
         return count / self.intervals_recorded

@@ -40,6 +40,10 @@ class ZIVInvariantError(RuntimeError):
 
 class ZIVScheme(InclusionScheme):
     inclusive = True
+    #: The paper's central guarantee: LLC replacement never produces an
+    #: inclusion victim.  The runtime auditor (repro.sim.audit) holds the
+    #: back-invalidation counters to exactly zero for this scheme.
+    zero_inclusion_victims = True
 
     def __init__(
         self, property_name: str = "notinprc", round_robin: bool = True

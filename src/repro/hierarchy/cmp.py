@@ -581,35 +581,25 @@ class CacheHierarchy:
 
     def inclusion_holds(self) -> bool:
         """Every privately cached block is present in the LLC (normal or
-        relocated).  Must hold for every inclusive scheme."""
-        for priv in self.private:
-            for addr in priv.resident_addrs():
-                if self.llc.probe(addr) >= 0:
-                    continue
-                entry = self.directory.lookup(addr)
-                if entry is None or not entry.relocated:
-                    return False
-                blk = self.llc.block(
-                    entry.reloc_bank, entry.reloc_set, entry.reloc_way
-                )
-                if not blk.relocated or blk.addr != addr:
-                    return False
-        return True
+        relocated).  Must hold for every inclusive scheme.  Delegates to
+        the invariant auditor's first-principles check."""
+        from repro.sim.audit import check_inclusion
+
+        return not check_inclusion(self)
 
     def directory_consistent(self) -> bool:
-        """The directory tracks exactly the privately cached blocks."""
-        tracked = {e.addr for e in self.directory.iter_valid()}
-        actual: set[int] = set()
-        for priv in self.private:
-            actual |= priv.resident_addrs()
-        if tracked != actual:
-            return False
-        for entry in self.directory.iter_valid():
-            for core in range(self.config.cores):
-                has = self.private[core].has_block(entry.addr)
-                if has != entry.has_sharer(core):
-                    return False
-        return True
+        """The directory tracks exactly the privately cached blocks, and
+        every relocation tuple is coherent both ways (auditor checks)."""
+        from repro.sim.audit import check_conservation, check_directory
+
+        return not (check_conservation(self) or check_directory(self))
+
+    def audit_violations(self) -> list:
+        """One full invariant-audit sweep over the current state; returns
+        the structured violations (see :mod:`repro.sim.audit`)."""
+        from repro.sim.audit import audit_hierarchy
+
+        return audit_hierarchy(self)
 
     def finalize_stats(self) -> None:
         """Copy late-bound counters into the stats object."""

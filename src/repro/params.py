@@ -210,6 +210,39 @@ class PrefetchParams:
 
 
 @dataclass(frozen=True)
+class AuditParams:
+    """Runtime invariant-auditor settings (see :mod:`repro.sim.audit`).
+
+    ``interval`` selects the sampling cadence: ``0`` audits at end of run
+    only, ``1`` after every access, ``N`` after every N-th access (an
+    end-of-run sweep always runs when the auditor is enabled).  With
+    ``fail_fast`` the first violating sweep raises
+    :class:`~repro.sim.audit.AuditError`; otherwise violations are
+    collected into ``SimResult.audit`` (capped at ``max_violations``).
+
+    Audit settings are part of :class:`SystemConfig`, so they participate
+    in the parallel runner's recipe cache key: audited and unaudited runs
+    never alias in the persistent result cache.
+    """
+
+    enabled: bool = False
+    interval: int = 0
+    fail_fast: bool = False
+    max_violations: int = 64
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ConfigError(
+                f"audit interval must be >= 0, got {self.interval}"
+            )
+        if self.max_violations <= 0:
+            raise ConfigError(
+                f"audit max_violations must be positive, "
+                f"got {self.max_violations}"
+            )
+
+
+@dataclass(frozen=True)
 class CHARParams:
     """Parameters of the adapted CHAR dead-block inference (paper III-D6)."""
 
@@ -235,6 +268,7 @@ class SystemConfig:
     core: CoreParams = field(default_factory=CoreParams)
     char: CHARParams = field(default_factory=CHARParams)
     prefetch: PrefetchParams = field(default_factory=PrefetchParams)
+    audit: AuditParams = field(default_factory=AuditParams)
     directory_mode: str = "mesi"  # "mesi" (bounded) or "zerodev" (spilling)
     relocation_fifo_depth: int = 8
     nextrs_latency: int = 3  # cycles to recompute decoded nextRS (synthesis)

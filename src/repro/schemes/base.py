@@ -20,6 +20,9 @@ class InclusionScheme:
     inclusive = True
     #: Whether the scheme consumes CHAR dead-block inference hints.
     needs_char = False
+    #: Whether the scheme guarantees zero LLC-eviction inclusion victims
+    #: (the ZIV invariant; audited by :mod:`repro.sim.audit`).
+    zero_inclusion_victims = False
 
     def __init__(self) -> None:
         self.cmp = None

@@ -1,0 +1,573 @@
+"""Runtime ZIV invariant auditor.
+
+The whole point of the ZIV LLC is an *invariant*: an inclusive LLC that
+never produces inclusion victims while keeping every relocated block
+reachable through its directory entry (paper III-C/III-D).  The scattered
+``ZIVInvariantError`` raise sites catch some corruptions at the moment
+they would be exploited; this module validates the invariants from first
+principles, independently of the hot-path bookkeeping, so a silent
+property-vector staleness or directory-tuple bug cannot quietly corrupt
+results (and, since PR 1, get cached and replayed forever).
+
+Invariants checked (each produces structured :class:`AuditViolation`\\ s):
+
+``inclusion``     every privately cached address is resident in the LLC,
+                  possibly via its relocation tuple (inclusive schemes)
+``directory``     every ``Relocated`` directory entry's ``<bank, set,
+                  way>`` points at a valid LLC block with the matching
+                  address, and every relocated LLC block has a directory
+                  entry pointing back at it; ``NotInPrC`` flags agree
+                  with the directory
+``pv``            each :class:`PropertyVector` bit equals a naive
+                  recomputation of its set's property, and the decoded
+                  ``nextRS`` agrees with the linear-scan reference
+                  (ZIV schemes)
+``ziv-zero-victim``  schemes advertising ``zero_inclusion_victims``
+                  report LLC-eviction back-invalidation counts of
+                  exactly zero
+``conservation``  directory occupancy equals the number of distinct
+                  privately cached addresses, with per-core sharer bits
+                  matching the private caches exactly
+
+The checks are side-effect free: directory lookups go through
+:meth:`~repro.coherence.sparse_directory.SparseDirectory.peek` (no NRU
+update) and only read block state.
+
+Configuration travels as :class:`repro.params.AuditParams` inside
+:class:`~repro.params.SystemConfig` -- which makes audit settings part of
+the parallel runner's recipe cache key -- and can be spelled as a compact
+string (``--audit=end,fail`` on the CLI, ``REPRO_AUDIT=100`` in the
+environment); see :func:`parse_audit_spec`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.properties import compute_property
+from repro.params import AuditParams, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hierarchy.cmp import CacheHierarchy
+
+#: Canonical invariant names, as reported in violations.
+INVARIANT_NAMES = (
+    "inclusion",
+    "directory",
+    "pv",
+    "ziv-zero-victim",
+    "conservation",
+)
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One detected invariant violation.
+
+    ``bank``/``set_idx``/``way``/``addr``/``core`` are -1 when not
+    applicable; ``access_index`` is the global access position of the
+    audit sweep that caught the violation (-1 for the end-of-run sweep).
+    """
+
+    invariant: str
+    detail: str
+    expected: str = ""
+    actual: str = ""
+    addr: int = -1
+    bank: int = -1
+    set_idx: int = -1
+    way: int = -1
+    core: int = -1
+    access_index: int = -1
+
+    def __str__(self) -> str:
+        loc = []
+        if self.bank >= 0:
+            loc.append(f"bank={self.bank}")
+        if self.set_idx >= 0:
+            loc.append(f"set={self.set_idx}")
+        if self.way >= 0:
+            loc.append(f"way={self.way}")
+        if self.core >= 0:
+            loc.append(f"core={self.core}")
+        if self.addr >= 0:
+            loc.append(f"addr={self.addr:#x}")
+        where = f" [{' '.join(loc)}]" if loc else ""
+        ea = (
+            f" (expected {self.expected}, actual {self.actual})"
+            if self.expected or self.actual
+            else ""
+        )
+        at = f" @access {self.access_index}" if self.access_index >= 0 else ""
+        return f"{self.invariant}: {self.detail}{where}{ea}{at}"
+
+
+class AuditError(RuntimeError):
+    """Raised in fail-fast mode on the first violating audit sweep."""
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message, violations)
+        self.violations = list(violations)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of all audit sweeps of one simulation run."""
+
+    params: AuditParams
+    violations: list[AuditViolation] = field(default_factory=list)
+    sweeps: int = 0
+    truncated: bool = False  # hit params.max_violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"audit: OK ({self.sweeps} sweep(s), 0 violations)"
+        head = (
+            f"audit: {len(self.violations)} violation(s)"
+            f"{' [truncated]' if self.truncated else ''} "
+            f"over {self.sweeps} sweep(s)"
+        )
+        return "\n".join([head] + [f"  {v}" for v in self.violations])
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing / resolution
+# ---------------------------------------------------------------------------
+
+#: Environment variable holding a default audit spec (see parse_audit_spec).
+AUDIT_ENV_VAR = "REPRO_AUDIT"
+
+_OFF_TOKENS = ("off", "none", "false", "no", "disabled")
+
+
+def parse_audit_spec(spec: Optional[str]) -> AuditParams:
+    """Parse a compact audit spec string into :class:`AuditParams`.
+
+    The spec is a comma-separated token list:
+
+    * ``end`` (or empty) -- end-of-run sweep only (the default cadence)
+    * ``every`` / ``all`` -- sweep after every access
+    * an integer ``N`` -- sweep after every N-th access (``0`` == ``end``)
+    * ``fail`` -- fail-fast: raise :class:`AuditError` on first violation
+    * ``collect`` -- collect-and-continue (the default mode)
+    * ``off`` -- auditing disabled
+
+    Examples: ``"end,fail"``, ``"100"``, ``"every,fail"``, ``"off"``.
+    """
+    if spec is None:
+        return AuditParams()
+    interval = 0
+    fail_fast = False
+    enabled = True
+    for raw in spec.split(","):
+        token = raw.strip().lower()
+        if not token or token in ("end", "final"):
+            interval = 0
+        elif token in ("every", "all", "each"):
+            interval = 1
+        elif token in ("fail", "failfast", "fail-fast", "raise"):
+            fail_fast = True
+        elif token == "collect":
+            fail_fast = False
+        elif token in _OFF_TOKENS:
+            enabled = False
+        elif token.lstrip("+").isdigit():
+            interval = int(token)
+        else:
+            raise ConfigError(
+                f"bad audit spec token {token!r}; expected 'end', 'every', "
+                f"an integer interval, 'fail', 'collect' or 'off'"
+            )
+    return AuditParams(
+        enabled=enabled, interval=interval, fail_fast=fail_fast
+    )
+
+
+def audit_params_from_env() -> Optional[AuditParams]:
+    """:class:`AuditParams` from the ``REPRO_AUDIT`` environment variable,
+    or None when the variable is unset/empty."""
+    spec = os.environ.get(AUDIT_ENV_VAR)
+    if spec is None or not spec.strip():
+        return None
+    return parse_audit_spec(spec)
+
+
+def resolve_audit(
+    explicit, config_audit: Optional[AuditParams] = None
+) -> AuditParams:
+    """Resolve the audit settings for one run.
+
+    Precedence: an explicit argument (an :class:`AuditParams` or a spec
+    string) wins; else the ``REPRO_AUDIT`` environment variable; else the
+    configuration's own ``audit`` field (default: disabled)."""
+    if explicit is not None:
+        if isinstance(explicit, AuditParams):
+            return explicit
+        if isinstance(explicit, str):
+            return parse_audit_spec(explicit)
+        raise TypeError(
+            f"audit must be AuditParams or a spec string, "
+            f"got {type(explicit).__name__}"
+        )
+    env = audit_params_from_env()
+    if env is not None:
+        return env
+    return config_audit if config_audit is not None else AuditParams()
+
+
+# ---------------------------------------------------------------------------
+# Individual invariant checks (side-effect free, return violation lists)
+# ---------------------------------------------------------------------------
+
+
+def check_inclusion(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Invariant 1: every privately cached address is LLC-resident, either
+    in its home set or through its relocation tuple.
+
+    The check itself is unconditional; :func:`audit_hierarchy` applies it
+    only to inclusive schemes (a non-inclusive LLC violates it by
+    design)."""
+    out: list[AuditViolation] = []
+    llc = h.llc
+    directory = h.directory
+    for core, priv in enumerate(h.private):
+        for addr in priv.resident_addrs():
+            if llc.probe(addr) >= 0:
+                continue
+            entry = directory.peek(addr)
+            if entry is None:
+                out.append(AuditViolation(
+                    invariant="inclusion",
+                    detail="privately cached block absent from LLC and "
+                           "untracked by the directory",
+                    expected="LLC-resident", actual="absent",
+                    addr=addr, core=core,
+                ))
+                continue
+            if not entry.relocated:
+                out.append(AuditViolation(
+                    invariant="inclusion",
+                    detail="privately cached block has no LLC copy and a "
+                           "non-Relocated directory entry",
+                    expected="home copy or Relocated entry",
+                    actual="neither",
+                    addr=addr, core=core,
+                ))
+                continue
+            blk = _reloc_block(llc, entry)
+            if blk is None or not blk.relocated or blk.addr != addr:
+                out.append(AuditViolation(
+                    invariant="inclusion",
+                    detail="relocation tuple of a privately cached block "
+                           "does not reach a matching relocated LLC block",
+                    expected=f"relocated block {addr:#x}",
+                    actual=_describe_block(blk),
+                    addr=addr, core=core,
+                    bank=entry.reloc_bank, set_idx=entry.reloc_set,
+                    way=entry.reloc_way,
+                ))
+    return out
+
+
+def check_directory(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Invariant 2: directory <-> relocated-block coherence, both ways,
+    plus ``NotInPrC`` flag exactness against the directory."""
+    out: list[AuditViolation] = []
+    llc = h.llc
+    geom = llc.geometry
+
+    # Forward: every Relocated entry points at a matching relocated block,
+    # and the home set holds no shadowing non-relocated copy.
+    for entry in h.directory.iter_valid():
+        if not entry.relocated:
+            continue
+        b, s, w = entry.reloc_bank, entry.reloc_set, entry.reloc_way
+        if not (0 <= b < geom.banks and 0 <= s < geom.sets_per_bank
+                and 0 <= w < geom.ways):
+            out.append(AuditViolation(
+                invariant="directory",
+                detail="relocation tuple out of range",
+                expected=f"bank<{geom.banks} set<{geom.sets_per_bank} "
+                         f"way<{geom.ways}",
+                actual=f"({b},{s},{w})",
+                addr=entry.addr, bank=b, set_idx=s, way=w,
+            ))
+            continue
+        blk = llc.block(b, s, w)
+        if not blk.valid or not blk.relocated or blk.addr != entry.addr:
+            out.append(AuditViolation(
+                invariant="directory",
+                detail="stale relocation tuple: pointed-at LLC block does "
+                       "not match the directory entry",
+                expected=f"valid relocated block {entry.addr:#x}",
+                actual=_describe_block(blk),
+                addr=entry.addr, bank=b, set_idx=s, way=w,
+            ))
+        if llc.probe(entry.addr) >= 0:
+            out.append(AuditViolation(
+                invariant="directory",
+                detail="Relocated entry coexists with a non-relocated "
+                       "home-set copy",
+                expected="no home-set copy", actual="home-set copy present",
+                addr=entry.addr, bank=llc.bank_of(entry.addr),
+                set_idx=llc.set_of(entry.addr),
+            ))
+
+    # Reverse: every relocated LLC block is reachable from its entry, and
+    # NotInPrC flags are exact w.r.t. the directory.
+    for b, cache in enumerate(llc.banks):
+        for s, ways in enumerate(cache.blocks):
+            for w, blk in enumerate(ways):
+                if not blk.valid:
+                    continue
+                entry = h.directory.peek(blk.addr)
+                cached = entry is not None and entry.sharers != 0
+                if blk.relocated:
+                    if (entry is None or not entry.relocated
+                            or (entry.reloc_bank, entry.reloc_set,
+                                entry.reloc_way) != (b, s, w)):
+                        out.append(AuditViolation(
+                            invariant="directory",
+                            detail="relocated LLC block has no directory "
+                                   "entry pointing back at it",
+                            expected=f"Relocated entry -> ({b},{s},{w})",
+                            actual=_describe_entry(entry),
+                            addr=blk.addr, bank=b, set_idx=s, way=w,
+                        ))
+                    if not cached:
+                        out.append(AuditViolation(
+                            invariant="directory",
+                            detail="relocated LLC block outlived its last "
+                                   "private copy",
+                            expected="sharers != 0", actual="no sharers",
+                            addr=blk.addr, bank=b, set_idx=s, way=w,
+                        ))
+                elif blk.not_in_prc == cached:
+                    out.append(AuditViolation(
+                        invariant="directory",
+                        detail="NotInPrC flag disagrees with the directory",
+                        expected=f"not_in_prc={not cached}",
+                        actual=f"not_in_prc={blk.not_in_prc}",
+                        addr=blk.addr, bank=b, set_idx=s, way=w,
+                    ))
+    return out
+
+
+def check_pv(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Invariant 3: each property-vector bit equals the naive
+    recomputation of its set's property, and the decoded ``nextRS``
+    equals the linear-scan reference.  Applies to schemes carrying a
+    :class:`~repro.core.properties.PropertyTracker` (the ZIV variants)."""
+    out: list[AuditViolation] = []
+    tracker = getattr(h.scheme, "tracker", None)
+    if tracker is None:
+        return out
+    llc = h.llc
+    for bank in range(llc.geometry.banks):
+        cache = llc.banks[bank]
+        max_rrpv = cache.policy.max_rrpv
+        for prop in tracker.properties:
+            pv = tracker.pvs[bank][prop]
+            for set_idx in range(llc.geometry.sets_per_bank):
+                expected = compute_property(
+                    cache.blocks[set_idx], prop, max_rrpv
+                )
+                actual = pv.get_bit(set_idx)
+                if actual != expected:
+                    out.append(AuditViolation(
+                        invariant="pv",
+                        detail=f"stale {prop} property bit",
+                        expected=str(expected), actual=str(actual),
+                        bank=bank, set_idx=set_idx,
+                    ))
+            naive = pv.naive_peek()
+            decoded = pv.peek_relocation_set()
+            if decoded != naive:
+                out.append(AuditViolation(
+                    invariant="pv",
+                    detail=f"decoded nextRS of {prop} disagrees with the "
+                           f"naive round-robin scan",
+                    expected=str(naive), actual=str(decoded),
+                    bank=bank,
+                ))
+    return out
+
+
+def check_ziv_zero_victims(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Invariant 4: a scheme advertising ``zero_inclusion_victims`` must
+    report zero LLC-eviction back-invalidations and inclusion victims.
+    (Sparse-directory evictions are a separate mechanism, paper III-F.)"""
+    out: list[AuditViolation] = []
+    if not getattr(h.scheme, "zero_inclusion_victims", False):
+        return out
+    s = h.stats
+    for counter in ("back_invalidations_llc", "inclusion_victims_llc"):
+        value = getattr(s, counter)
+        if value:
+            out.append(AuditViolation(
+                invariant="ziv-zero-victim",
+                detail=f"ZIV run reported nonzero {counter}",
+                expected="0", actual=str(value),
+            ))
+    return out
+
+
+def check_conservation(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Invariant 5: the directory tracks exactly the privately cached
+    addresses -- occupancy matches, and every sharer bit matches the
+    owning core's private caches."""
+    out: list[AuditViolation] = []
+    tracked = {e.addr: e for e in h.directory.iter_valid()}
+    resident: dict[int, int] = {}  # addr -> core bitmask, from the caches
+    for core, priv in enumerate(h.private):
+        for addr in priv.resident_addrs():
+            resident[addr] = resident.get(addr, 0) | (1 << core)
+    for addr in resident.keys() - tracked.keys():
+        out.append(AuditViolation(
+            invariant="conservation",
+            detail="privately cached block untracked by the directory",
+            expected="directory entry", actual="none",
+            addr=addr,
+        ))
+    for addr in tracked.keys() - resident.keys():
+        out.append(AuditViolation(
+            invariant="conservation",
+            detail="directory entry for a block with no private copies",
+            expected="no entry",
+            actual=f"sharers={tracked[addr].sharers:b}",
+            addr=addr,
+        ))
+    for addr, entry in tracked.items():
+        mask = resident.get(addr)
+        if mask is not None and mask != entry.sharers:
+            out.append(AuditViolation(
+                invariant="conservation",
+                detail="sharer bitvector disagrees with private caches",
+                expected=f"sharers={mask:b}",
+                actual=f"sharers={entry.sharers:b}",
+                addr=addr,
+            ))
+    occupancy = h.directory.occupancy()
+    if occupancy != len(resident):
+        out.append(AuditViolation(
+            invariant="conservation",
+            detail="directory occupancy differs from the number of "
+                   "distinct privately cached addresses",
+            expected=str(len(resident)), actual=str(occupancy),
+        ))
+    return out
+
+
+def audit_hierarchy(h: "CacheHierarchy") -> list[AuditViolation]:
+    """Run every applicable invariant check once; returns all violations
+    (uncapped).  The one-shot entry point for tests and diagnostics."""
+    return (
+        (check_inclusion(h) if h.scheme.inclusive else [])
+        + check_directory(h)
+        + check_pv(h)
+        + check_ziv_zero_victims(h)
+        + check_conservation(h)
+    )
+
+
+def _reloc_block(llc, entry):
+    geom = llc.geometry
+    b, s, w = entry.reloc_bank, entry.reloc_set, entry.reloc_way
+    if not (0 <= b < geom.banks and 0 <= s < geom.sets_per_bank
+            and 0 <= w < geom.ways):
+        return None
+    return llc.block(b, s, w)
+
+
+def _describe_block(blk) -> str:
+    if blk is None:
+        return "out-of-range tuple"
+    if not blk.valid:
+        return "invalid block"
+    kind = "relocated" if blk.relocated else "normal"
+    return f"{kind} block {blk.addr:#x}"
+
+
+def _describe_entry(entry) -> str:
+    if entry is None:
+        return "no entry"
+    if not entry.relocated:
+        return "non-Relocated entry"
+    return (
+        f"entry -> ({entry.reloc_bank},{entry.reloc_set},{entry.reloc_way})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The auditor driven by the simulation engine
+# ---------------------------------------------------------------------------
+
+
+class InvariantAuditor:
+    """Samples the invariant checks over a simulation run.
+
+    The engine calls :meth:`maybe_check` after every completed access
+    (state is consistent between the atomic transactions) and
+    :meth:`finalize` after the run; ``fail_fast`` raises
+    :class:`AuditError` from the first violating sweep."""
+
+    def __init__(self, hierarchy: "CacheHierarchy",
+                 params: AuditParams) -> None:
+        self.hierarchy = hierarchy
+        self.params = params
+        self.report = AuditReport(params=params)
+        self._countdown = params.interval
+
+    def maybe_check(self, access_index: int) -> None:
+        """Periodic hook: sweeps every ``interval`` accesses."""
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.params.interval
+        self.sweep(access_index)
+
+    def sweep(self, access_index: int = -1) -> list[AuditViolation]:
+        """One full pass over every applicable invariant."""
+        self.report.sweeps += 1
+        found = audit_hierarchy(self.hierarchy)
+        if not found:
+            return found
+        stamped = [
+            AuditViolation(**{**_as_kwargs(v), "access_index": access_index})
+            for v in found
+        ]
+        room = self.params.max_violations - len(self.report.violations)
+        if len(stamped) > room:
+            self.report.truncated = True
+        self.report.violations.extend(stamped[:max(0, room)])
+        if self.params.fail_fast:
+            raise AuditError(
+                f"invariant audit failed with {len(stamped)} violation(s) "
+                f"at access {access_index}:\n"
+                + "\n".join(f"  {v}" for v in stamped[:10]),
+                tuple(stamped),
+            )
+        return stamped
+
+    def finalize(self) -> AuditReport:
+        """End-of-run sweep (always runs) and the final report."""
+        self.sweep(-1)
+        return self.report
+
+
+def _as_kwargs(v: AuditViolation) -> dict:
+    return {
+        "invariant": v.invariant, "detail": v.detail,
+        "expected": v.expected, "actual": v.actual,
+        "addr": v.addr, "bank": v.bank, "set_idx": v.set_idx,
+        "way": v.way, "core": v.core, "access_index": v.access_index,
+    }

@@ -24,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.audit import AuditReport, InvariantAuditor, resolve_audit
 from repro.sim.stats import SimStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,9 +36,10 @@ from repro.sim.trace import Workload, interleave_records
 class SimResult:
     """Outcome of one simulation run.
 
-    Carries the statistics, the energy ledger and any scheme-specific
-    extras (e.g. the ZIV relocation-interval histogram) -- but not the
-    hierarchy itself, so results stay small enough to cache in bulk."""
+    Carries the statistics, the energy ledger, any scheme-specific
+    extras (e.g. the ZIV relocation-interval histogram) and the invariant
+    audit report (when auditing was enabled) -- but not the hierarchy
+    itself, so results stay small enough to cache in bulk."""
 
     stats: SimStats
     cycles: int
@@ -46,6 +48,7 @@ class SimResult:
     workload: str
     energy: Optional["EnergyModel"] = None
     scheme_stats: Optional[dict] = None
+    audit: Optional[AuditReport] = None
 
     @property
     def ipc_per_core(self) -> list[float]:
@@ -64,6 +67,7 @@ class Simulation:
         workload: Workload,
         scheduling: str = "timing",
         llc_policy_name: Optional[str] = None,
+        audit=None,
     ) -> None:
         if scheduling not in ("timing", "lockstep"):
             raise ValueError(f"unknown scheduling mode {scheduling!r}")
@@ -76,13 +80,28 @@ class Simulation:
         self.workload = workload
         self.scheduling = scheduling
         self.llc_policy_name = llc_policy_name or hierarchy.llc.policy_name
+        # ``audit``: AuditParams or a spec string; defaults to the
+        # hierarchy configuration's audit section (config.audit) so that
+        # cached recipes and direct runs agree on whether they audit.
+        self.audit_params = resolve_audit(audit, hierarchy.config.audit)
 
     def run(self) -> SimResult:
+        auditor = (
+            InvariantAuditor(self.hierarchy, self.audit_params)
+            if self.audit_params.enabled
+            else None
+        )
+        audit_hook = (
+            auditor.maybe_check
+            if auditor is not None and self.audit_params.interval > 0
+            else None
+        )
         if self.scheduling == "timing":
-            cycles = self._run_timing()
+            cycles = self._run_timing(audit_hook)
         else:
-            cycles = self._run_lockstep()
+            cycles = self._run_lockstep(audit_hook)
         self.hierarchy.finalize_stats()
+        report = auditor.finalize() if auditor is not None else None
         return SimResult(
             stats=self.hierarchy.stats,
             cycles=cycles,
@@ -91,11 +110,12 @@ class Simulation:
             workload=self.workload.name,
             energy=self.hierarchy.energy,
             scheme_stats=self.hierarchy.scheme.on_stats(),
+            audit=report,
         )
 
     # -- timing mode ------------------------------------------------------------
 
-    def _run_timing(self) -> int:
+    def _run_timing(self, audit_hook=None) -> int:
         h = self.hierarchy
         base_cpi = h.config.core.base_cpi
         # Hot loop: every per-access attribute lookup is hoisted into a
@@ -127,6 +147,8 @@ class Simulation:
                 global_pos=global_pos,
             )
             global_pos += 1
+            if audit_hook is not None:
+                audit_hook(global_pos - 1)
             done = issue + latency
             cs = core_stats[core]
             cs.instructions += gap + 1
@@ -140,7 +162,7 @@ class Simulation:
 
     # -- lockstep mode -------------------------------------------------------------
 
-    def _run_lockstep(self) -> int:
+    def _run_lockstep(self, audit_hook=None) -> int:
         h = self.hierarchy
         access = h.access
         core_stats = h.stats.cores
@@ -154,6 +176,8 @@ class Simulation:
                 cycle=pos,
                 global_pos=pos,
             )
+            if audit_hook is not None:
+                audit_hook(pos)
             core_stats[core].instructions += rec.gap + 1
             pos += 1
         for cs in core_stats:
@@ -169,8 +193,13 @@ def run_workload(
     scheduling: str = "timing",
     oracle=None,
     policy_kwargs: Optional[dict] = None,
+    audit=None,
 ) -> SimResult:
-    """Convenience one-call runner: build hierarchy + scheme, simulate."""
+    """Convenience one-call runner: build hierarchy + scheme, simulate.
+
+    ``audit`` (AuditParams or a spec string like ``"end,fail"``) enables
+    the invariant auditor; when omitted, the ``REPRO_AUDIT`` environment
+    variable and then ``config.audit`` decide."""
     from repro.hierarchy.cmp import CacheHierarchy
     from repro.schemes import make_scheme
 
@@ -183,6 +212,10 @@ def run_workload(
         policy_kwargs=policy_kwargs,
     )
     sim = Simulation(
-        hierarchy, workload, scheduling=scheduling, llc_policy_name=llc_policy
+        hierarchy,
+        workload,
+        scheduling=scheduling,
+        llc_policy_name=llc_policy,
+        audit=audit,
     )
     return sim.run()

@@ -48,7 +48,10 @@ from repro.sim.trace import Workload
 
 #: Version tag baked into every cache key.  Bump on any change that
 #: alters simulation outcomes; stale entries then miss instead of lying.
-CACHE_VERSION = "1"
+#: "2": SimResult grew the ``audit`` field (invariant-audit reports);
+#: audit settings ride the config and thus the key, so audited and
+#: unaudited runs never alias.
+CACHE_VERSION = "2"
 
 _DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -126,6 +129,11 @@ class RunRecipe:
             self.workload,
             scheduling=self.scheduling,
             llc_policy_name=self.policy,
+            # Audit settings come from the config (and therefore from the
+            # cache key) alone: the REPRO_AUDIT environment variable must
+            # never be consulted inside a worker, or an audited result
+            # could be stored under an unaudited key.
+            audit=self.config.audit,
         )
         return sim.run()
 
@@ -143,6 +151,7 @@ def make_recipe(
     directory_factor: float = 2.0,
     scheme_kwargs: Optional[dict] = None,
     policy_kwargs: Optional[dict] = None,
+    audit=None,
 ) -> RunRecipe:
     """Build a :class:`RunRecipe` with the same defaults the experiment
     modules use.
@@ -150,8 +159,14 @@ def make_recipe(
     ``config`` wins when given; otherwise a scaled configuration is built
     from the ``l2``/``cores``/directory knobs.  ``policy="belady"``
     forces lock-step scheduling (the MIN oracle is only defined on the
-    canonical lock-step stream, paper footnote 2)."""
+    canonical lock-step stream, paper footnote 2).
+
+    ``audit`` (AuditParams or a spec string, default: the ``REPRO_AUDIT``
+    environment variable, else the config's own ``audit`` section) is
+    resolved *here*, at recipe-construction time, and baked into the
+    config -- and therefore into the recipe's cache key."""
     from repro.params import scaled_config
+    from repro.sim.audit import resolve_audit
 
     if config is None:
         config = scaled_config(
@@ -161,6 +176,9 @@ def make_recipe(
             directory_factor=directory_factor,
             llc_scale=llc_scale,
         )
+    audit_params = resolve_audit(audit, config.audit)
+    if audit_params != config.audit:
+        config = config.replace(audit=audit_params)
     if policy == "belady":
         scheduling = "lockstep"
     return RunRecipe(

@@ -37,10 +37,19 @@ class SweepPoint:
     policy: str = "lru"
 
     def recipe(self, workload: Workload) -> RunRecipe:
+        # Resolve REPRO_AUDIT here, at recipe-construction time in the
+        # submitting process, exactly like make_recipe: audit settings are
+        # part of the cache key and must never be re-read in a worker.
+        from repro.sim.audit import resolve_audit
+
+        config = self.config
+        audit_params = resolve_audit(None, config.audit)
+        if audit_params != config.audit:
+            config = config.replace(audit=audit_params)
         return RunRecipe(
             workload=workload,
             scheme=self.scheme,
-            config=self.config,
+            config=config,
             policy=self.policy,
         )
 

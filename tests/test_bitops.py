@@ -96,3 +96,23 @@ class TestDecodedNextRS:
         got = decoded_next_rs(pv, 0, 32)
         assert got & pv == got
         assert got != 0
+
+    @given(
+        width=st.integers(min_value=1, max_value=128),
+        data=st.data(),
+    )
+    def test_matches_naive_scan_any_width(self, width, data):
+        """Full round-trip over random (PV, width, pointer) combinations:
+        the hardware bit trick must equal the linear scan at every vector
+        width, not just the 32-set geometry."""
+        pv = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        pos = data.draw(st.integers(min_value=0, max_value=width - 1))
+        got = decoded_next_rs(pv, encode_onehot(pos), width)
+        want_pos = naive_next_rs(pv, pos, width)
+        if want_pos < 0:
+            assert got == 0
+        else:
+            assert decode_onehot(got) == want_pos
+        # And with no current RS: the lowest set bit wins in both.
+        got0 = decoded_next_rs(pv, 0, width)
+        assert got0 == lowest_set_bit(pv)

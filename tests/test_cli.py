@@ -42,6 +42,29 @@ class TestCommands:
         assert "incl. victims : 0 (LLC)" in out
         assert "relocations" in out
 
+    def test_run_audited(self, capsys):
+        assert main([
+            "run", "--workload", "leela.1", "--scheme", "ziv:notinprc",
+            "--accesses", "400", "--audit", "50,fail",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "audit: OK" in out
+        assert "0 violations" in out
+
+    def test_run_audit_flag_defaults_to_end(self, capsys):
+        assert main([
+            "run", "--workload", "leela.1", "--accesses", "300", "--audit",
+        ]) == 0
+        assert "audit: OK (1 sweep(s), 0 violations)" in \
+            capsys.readouterr().out
+
+    def test_run_unaudited_prints_no_audit_line(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert main([
+            "run", "--workload", "leela.1", "--accesses", "300",
+        ]) == 0
+        assert "audit:" not in capsys.readouterr().out
+
     def test_run_multithreaded(self, capsys):
         assert main([
             "run", "--workload", "mt:vips", "--accesses", "300",

@@ -1,6 +1,8 @@
 """Relocation FIFO model and interval statistics."""
 
-from repro.core.relocation import RelocationTracker
+import random
+
+from repro.core.relocation import RelocationTracker, interval_bucket
 
 
 class TestIntervals:
@@ -48,6 +50,44 @@ class TestIntervals:
         assert t.fraction_below(2) == 0.5
         assert t.fraction_below(1 << 20) == 1.0
 
+    def test_fraction_below_exact_for_non_power_of_two(self):
+        """Regression: fraction_below used to be computed from the log2
+        buckets, which lumps intervals 2 and 3 together -- so a threshold
+        of 3 (the nextRS latency) over-counted.  It must be exact."""
+        t = RelocationTracker(banks=1, nextrs_latency=3)
+        t.record(0, 0)
+        for cycle in (1, 3, 6, 10):  # intervals 1, 2, 3, 4
+            t.record(0, cycle)
+        assert t.fraction_below(3) == 2 / 4   # intervals 1, 2
+        assert t.fraction_below(4) == 3 / 4   # + interval 3
+        assert t.fraction_below(1) == 0.0     # interval 0 never recorded
+
+    def test_fraction_below_agrees_with_short_interval_counter(self):
+        """The two views of 'interval shorter than the nextRS latency'
+        must always coincide, whatever the latency."""
+        for latency in (2, 3, 5):
+            t = RelocationTracker(banks=2, nextrs_latency=latency)
+            rng = random.Random(latency)
+            cycles = [0, 0]
+            for _ in range(200):
+                bank = rng.randrange(2)
+                cycles[bank] += rng.randrange(12)
+                t.record(bank, cycles[bank])
+            assert (
+                t.fraction_below(latency)
+                == t.short_intervals / t.intervals_recorded
+            )
+
+    def test_log2_histogram_derived_from_exact_counts(self):
+        t = RelocationTracker(banks=1)
+        t.record(0, 0)
+        for cycle in (2, 5, 12):  # intervals 2, 3, 7 -> buckets 1, 1, 2
+            t.record(0, cycle)
+        assert t.interval_counts == {2: 1, 3: 1, 7: 1}
+        assert t.interval_log2_histogram == {1: 2, 2: 1}
+        assert interval_bucket(1) == 0
+        assert interval_bucket(1024) == 10
+
 
 class TestFIFO:
     def test_spaced_relocations_keep_fifo_shallow(self):
@@ -68,3 +108,34 @@ class TestFIFO:
         for _ in range(5):
             t.record(0, 0)
         assert t.fifo_overflows > 0
+
+    def test_deque_matches_list_reference_on_burst_trace(self):
+        """Regression for the departures queue moving from a list with
+        ``pop(0)`` to ``deque.popleft()``: the occupancy statistics must
+        be identical on a bursty trace that exercises overflow."""
+        def reference(events, fifo_depth, latency):
+            pending, peak, overflows = [], 0, 0
+            for cycle in events:
+                while pending and pending[0] <= cycle:
+                    pending.pop(0)  # the old O(n) behaviour, verbatim
+                start = max(cycle, pending[-1] if pending else cycle)
+                pending.append(start + latency)
+                peak = max(peak, len(pending))
+                if len(pending) > fifo_depth:
+                    overflows += 1
+            return peak, overflows
+
+        rng = random.Random(7)
+        cycle, events = 0, []
+        for _ in range(500):
+            # bursts of back-to-back relocations with quiet gaps between
+            cycle += rng.choice((0, 0, 1, 1, 2, 40))
+            events.append(cycle)
+        t = RelocationTracker(banks=1, fifo_depth=8, nextrs_latency=3)
+        for c in events:
+            t.record(0, c)
+        peak, overflows = reference(events, fifo_depth=8, latency=3)
+        assert t.fifo_peak == peak
+        assert t.fifo_overflows == overflows
+        assert t.fifo_overflows > 0  # the trace actually overflowed
+        assert t.intervals_recorded == len(events) - 1

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.coherence.sparse_directory import SparseDirectory
+from repro.coherence.sparse_directory import (
+    DirectoryProtocolError,
+    SparseDirectory,
+)
 from repro.params import DirectoryGeometry, LLCGeometry
 
 LLC = LLCGeometry(banks=2, sets_per_bank=4, ways=4)
@@ -38,6 +41,48 @@ class TestBasics:
         d.free(0x40)
         assert d.lookup(0x40) is None
         assert d.occupancy() == 0
+
+    def test_double_free_is_a_protocol_error(self):
+        """Regression: freeing an untracked address used to raise a bare
+        ``KeyError('<addr>')``; it must now name the slice and address."""
+        d = make()
+        d.allocate(0x40)
+        d.free(0x40)
+        with pytest.raises(DirectoryProtocolError) as exc:
+            d.free(0x40)
+        message = str(exc.value)
+        assert "dir[" in message  # the slice name
+        assert "0x40" in message
+        assert "double free" in message
+
+    def test_free_of_never_allocated_is_a_protocol_error(self):
+        d = make()
+        with pytest.raises(DirectoryProtocolError, match="never allocated"):
+            d.free(0x80)
+
+    def test_protocol_error_is_a_lookup_error(self):
+        """Callers catching the historical LookupError keep working."""
+        assert issubclass(DirectoryProtocolError, LookupError)
+
+    def test_peek_does_not_touch_nru(self):
+        """peek() exists for the invariant auditor: it must not perturb
+        the NRU replacement state the way lookup() does."""
+        d = make()
+        entry, _ = d.allocate(0x40)
+        entry.nru = False
+        assert d.peek(0x40) is entry
+        assert entry.nru is False
+        assert d.lookup(0x40) is entry
+        assert entry.nru is True
+
+    def test_peek_miss(self):
+        assert make().peek(0x40) is None
+
+    def test_peek_finds_spilled_entry(self):
+        d = make(mode="zerodev", sets=1, ways=1)
+        d.allocate(0)
+        d.allocate(2)  # spills 0
+        assert d.peek(0).addr == 0
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ValueError):
