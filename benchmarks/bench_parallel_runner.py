@@ -14,10 +14,14 @@ measurable improvement.  Run as a script to (re)generate
 ``BENCH_pr1.json`` at the repository root:
 
     PYTHONPATH=src python benchmarks/bench_parallel_runner.py
+
+Later PRs re-measure against that baseline without overwriting it:
+``--out BENCH_pr4.json`` redirects the report.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import time
@@ -70,6 +74,10 @@ def measure_access_rate(n_accesses: int = 60_000) -> float:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=OUT_PATH,
+                        help=f"report path (default: {OUT_PATH.name})")
+    args = parser.parse_args()
     os.environ.setdefault("REPRO_CACHE_DIR", ".repro_cache_bench")
     from repro.sim.parallel import (
         clear_memo,
@@ -118,8 +126,8 @@ def main() -> None:
         ),
         "access_rate_per_s": round(rate),
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {OUT_PATH}")
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
     assert payload["warm_speedup_vs_serial_cold"] >= 2.0, payload
 
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate relative links and intra-repo anchors in the repo's *.md files.
+
+Checks, for every tracked markdown file:
+
+* ``[text](relative/path)`` — the target file/directory exists;
+* ``[text](path#anchor)`` / ``[text](#anchor)`` — the target file has a
+  heading whose GitHub slug equals the anchor;
+* bare intra-repo references in inline code are NOT checked (they name
+  modules, not files).
+
+External links (http/https/mailto) are intentionally skipped: CI must
+not depend on the network.  Exit status: 0 clean, 1 with a report of
+every broken link.
+
+Usage:  python scripts/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# Skip link targets with a scheme (http:, https:, mailto:, ...).
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+# [text](target) -- won't match images' leading "!" capture, which is fine
+# (image targets get the same existence check).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for ASCII docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # strip links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set:
+    """Every heading anchor a markdown file exposes."""
+    slugs: dict = {}
+    in_fence = False
+    for line in path.read_text(errors="replace").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING.match(line)
+        if m:
+            slug = github_slug(m.group(2))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+    out = set()
+    for slug, count in slugs.items():
+        out.add(slug)
+        for i in range(1, count):
+            out.add(f"{slug}-{i}")
+    return out
+
+
+def links_in(path: pathlib.Path):
+    """(line_number, target) for every markdown link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(errors="replace").splitlines(), 1
+    ):
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    problems = []
+    for lineno, target in links_in(path):
+        if _EXTERNAL.match(target) or target.startswith("//"):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"broken link target {base!r}"
+                )
+                continue
+        else:
+            resolved = path
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if anchor.lower() not in heading_slugs(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: missing anchor "
+                    f"#{anchor} in {resolved.relative_to(root)}"
+                )
+    return problems
+
+
+def markdown_files(root: pathlib.Path) -> list:
+    skip_parts = {".git", ".repro_cache", "node_modules", "__pycache__"}
+    return sorted(
+        p for p in root.rglob("*.md")
+        if not (set(p.relative_to(root).parts[:-1]) & skip_parts)
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0] if argv else ".").resolve()
+    problems = []
+    files = markdown_files(root)
+    for path in files:
+        problems.extend(check_file(path, root))
+    if problems:
+        print(f"{len(problems)} broken markdown link(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"{len(files)} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

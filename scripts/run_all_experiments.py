@@ -53,7 +53,13 @@ def parse_args():
         help="worker processes for the up-front simulation fan-out "
              "(<=0: one per CPU; default REPRO_JOBS or one per CPU)",
     )
-    parser.add_argument("outfile", nargs="?", default="experiments_output.txt")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a live progress line (completed/total, cache "
+             "provenance, accesses/s, ETA) to stderr during the fan-out",
+    )
+    parser.add_argument("outfile", nargs="?",
+                        default="docs/experiments_output.txt")
     return parser.parse_args()
 
 
@@ -66,7 +72,14 @@ def main() -> None:
     recipes = collect_recipes(scale)
     print(f"submitting {len(recipes)} unique simulations "
           f"(jobs={args.jobs if args.jobs > 0 else 'auto'})")
-    run_many(recipes, jobs=args.jobs)
+    if args.progress:
+        from repro.sim.telemetry import ProgressPrinter
+
+        printer = ProgressPrinter()
+        run_many(recipes, jobs=args.jobs, heartbeat=printer)
+        printer.done()
+    else:
+        run_many(recipes, jobs=args.jobs)
     print(f"simulations done in {time.time() - t_start:.0f}s; "
           f"formatting figures")
     with open(out_path, "w") as out:

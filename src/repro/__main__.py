@@ -5,6 +5,7 @@ Commands
 ``list``                 available schemes, policies, profiles, figures
 ``figure <name>``        regenerate one paper figure (e.g. fig08_lru_perf)
 ``run``                  run one workload/scheme/policy combination
+``telemetry``            run with interval sampling, chart a counter
 ``sidechannel``          prime+probe campaign across designs
 ``config``               print the scaled and paper-scale configurations
 ``cache``                inspect or clear the persistent result cache
@@ -31,8 +32,17 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    from repro.experiments import run_figure
+    from repro.experiments import figure_recipes, run_figure
 
+    if args.progress:
+        from repro.sim.parallel import run_many
+        from repro.sim.telemetry import ProgressPrinter
+
+        recipes = figure_recipes(args.name, args.scale)
+        if recipes:
+            printer = ProgressPrinter()
+            run_many(recipes, heartbeat=printer)
+            printer.done()
     result = run_figure(args.name, args.scale)
     result.print_table()
     return 0
@@ -60,13 +70,59 @@ def _cmd_run(args) -> int:
     from repro.sim.report import describe_result
 
     result = run_workload(
-        config, wl, args.scheme, llc_policy=args.policy, audit=args.audit
+        config, wl, args.scheme, llc_policy=args.policy, audit=args.audit,
+        telemetry=args.telemetry,
     )
     print(describe_result(result))
+    if result.telemetry is not None and args.events_out:
+        from repro.sim.telemetry import write_events_jsonl
+
+        n = write_events_jsonl(result.telemetry.events, args.events_out)
+        print(f"wrote {n} event(s) to {args.events_out}")
     if result.audit is not None:
         print(result.audit.summary())
         if not result.audit.ok:
             return 1
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Run one simulation with interval sampling on, then chart one or
+    more sampled columns as ASCII time series."""
+    from repro.experiments.ascii_chart import series_chart
+    from repro.params import TelemetryParams, scaled_config
+    from repro.sim.engine import run_workload
+    from repro.workloads import homogeneous_mix, multithreaded_workload
+
+    config = scaled_config(args.l2)
+    if args.workload.startswith("mt:"):
+        wl = multithreaded_workload(
+            args.workload[3:], cores=config.cores, n_accesses=args.accesses
+        )
+    else:
+        wl = homogeneous_mix(
+            args.workload, cores=config.cores, n_accesses=args.accesses
+        )
+    params = TelemetryParams(
+        enabled=True, interval=args.interval, events=args.events or ""
+    )
+    result = run_workload(
+        config, wl, args.scheme, llc_policy=args.policy, telemetry=params
+    )
+    t = result.telemetry
+    title_base = f"{result.scheme}/{result.policy} on {result.workload}"
+    for column in args.series:
+        if column not in t.series.columns:
+            print(f"unknown series column {column!r}; available: "
+                  f"{' '.join(t.series.columns)}")
+            return 2
+        print(series_chart(t.series, column, width=args.width,
+                           title=f"{column} -- {title_base}"))
+    if args.events_out:
+        from repro.sim.telemetry import write_events_jsonl
+
+        n = write_events_jsonl(t.events, args.events_out)
+        print(f"wrote {n} event(s) to {args.events_out}")
     return 0
 
 
@@ -120,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("--scale", default=None,
                    choices=("smoke", "quick", "standard", "full"))
+    p.add_argument("--progress", action="store_true",
+                   help="print a live progress line (completed/total, "
+                        "cache provenance, accesses/s, ETA) to stderr "
+                        "while the figure's runs resolve")
 
     p = sub.add_parser("run", help="run one simulation")
     p.add_argument("--workload", default="xalancbmk.2",
@@ -139,6 +199,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "'collect' -- e.g. --audit=100,fail.  The "
                         "REPRO_AUDIT environment variable supplies a "
                         "default spec (see repro.sim.audit)")
+    p.add_argument("--telemetry", nargs="?", const="on", default=None,
+                   metavar="SPEC",
+                   help="enable interval sampling/event tracing; SPEC is "
+                        "a comma list of an integer interval N, 'ring=N', "
+                        "'events[=cat+cat]', 'maxevents=N' or "
+                        "'severity=LEVEL' -- e.g. "
+                        "--telemetry=250,events=relocation.  The "
+                        "REPRO_TELEMETRY environment variable supplies a "
+                        "default spec (see repro.sim.telemetry)")
+    p.add_argument("--events-out", default=None, metavar="FILE.jsonl",
+                   help="write traced telemetry events as JSONL")
+
+    p = sub.add_parser(
+        "telemetry",
+        help="run one simulation with sampling on and chart a counter",
+    )
+    p.add_argument("--workload", default="xalancbmk.2",
+                   help="profile name, or mt:<app> for multi-threaded")
+    p.add_argument("--scheme", default="ziv:likelydead")
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--l2", default="512KB",
+                   choices=("256KB", "512KB", "768KB", "1MB"))
+    p.add_argument("--accesses", type=int, default=4000)
+    p.add_argument("--interval", type=int, default=1000,
+                   help="sampling interval in accesses (default 1000)")
+    p.add_argument("--series", nargs="+", default=["relocations"],
+                   metavar="COLUMN",
+                   help="sampled column(s) to chart (default: relocations)")
+    p.add_argument("--events", default=None, metavar="CATS",
+                   help="also trace events: 'all' or a '+'-joined subset "
+                        "of relocation/coherence/directory/char")
+    p.add_argument("--events-out", default=None, metavar="FILE.jsonl",
+                   help="write traced events as JSONL")
+    p.add_argument("--width", type=int, default=48,
+                   help="chart width in characters")
 
     p = sub.add_parser("sidechannel", help="prime+probe campaign")
     p.add_argument("--trials", type=int, default=48)
@@ -158,6 +253,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "figure": _cmd_figure,
         "run": _cmd_run,
+        "telemetry": _cmd_telemetry,
         "sidechannel": _cmd_sidechannel,
         "config": _cmd_config,
         "cache": _cmd_cache,

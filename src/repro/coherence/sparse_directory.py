@@ -134,6 +134,14 @@ class DirectorySlice:
     def occupancy(self) -> int:
         return sum(1 for _ in self.iter_valid())
 
+    def tracked_count(self) -> int:
+        """Valid-entry count from the address index (no entry scan).
+
+        Equals :meth:`occupancy` -- the index holds exactly the valid
+        entries -- but is cheap enough for the telemetry sampler to call
+        every interval."""
+        return sum(len(d) for d in self.index)
+
 
 class SparseDirectory:
     """The full directory: one slice per LLC bank, plus the ZeroDEV spill."""
@@ -204,6 +212,14 @@ class SparseDirectory:
 
     def occupancy(self) -> int:
         return sum(sl.occupancy() for sl in self.slices) + len(self.spill)
+
+    def tracked_count(self) -> int:
+        """Index-based :meth:`occupancy` (see
+        :meth:`DirectorySlice.tracked_count`); cheap enough to sample every
+        telemetry interval."""
+        return (
+            sum(sl.tracked_count() for sl in self.slices) + len(self.spill)
+        )
 
     @property
     def entries(self) -> int:

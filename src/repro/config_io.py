@@ -35,6 +35,7 @@ from repro.params import (
     LLCGeometry,
     PrefetchParams,
     SystemConfig,
+    TelemetryParams,
 )
 
 _SECTIONS = {
@@ -47,6 +48,7 @@ _SECTIONS = {
     "char": CHARParams,
     "prefetch": PrefetchParams,
     "audit": AuditParams,
+    "telemetry": TelemetryParams,
 }
 
 

@@ -69,6 +69,8 @@ class CharEngine:
         self.dead_hints = 0
         self.decrements = 0
         self.resets = 0
+        # Bound by TelemetryCollector.bind() while a traced run is active.
+        self.telemetry = None
 
     # -- classification -------------------------------------------------------
 
@@ -130,6 +132,8 @@ class CharEngine:
         state.trbv = (1 << self.cores) - 1
         state.notices_since_decrement = 0
         self.decrements += 1
+        if self.telemetry is not None:
+            self.telemetry.emit("tau_decrement", bank=bank, d=state.d)
 
     def on_notice(self, bank: int, core: int) -> None:
         """A private-cache eviction notice (or writeback) from ``core``
@@ -156,3 +160,5 @@ class CharEngine:
         for bs in self.bank_state:
             bs.d = self.params.initial_d
             bs.trbv = 0
+        if self.telemetry is not None:
+            self.telemetry.emit("tau_reset", d=self.params.initial_d)

@@ -54,7 +54,8 @@ class OracleZIVScheme(ZIVScheme):
         rs = self.tracker.pick_global(bank, "invalid")
         if rs >= 0:
             cmp.stats.count_property_hit("global:invalid")
-            self._relocate(bank, set_idx, victim_way, bank, rs, ctx)
+            self._relocate(bank, set_idx, victim_way, bank, rs, ctx,
+                           level="invalid")
             return self._install_into(bank, set_idx, victim_way, addr, ctx)
         target = self._find_oracle_victim(bank, ctx.global_pos)
         search_banks = [bank]
@@ -109,5 +110,21 @@ class OracleZIVScheme(ZIVScheme):
             cmp.stats.relocations_cross_bank += 1
         cmp.energy.record_relocation()
         self.reloc.record(src_bank, ctx.cycle)
+        telemetry = cmp.telemetry
+        if telemetry is not None:
+            kind = (
+                "cross_bank_fallback" if dst_bank != src_bank
+                else "re_relocation" if was_relocated
+                else "relocation"
+            )
+            telemetry.emit(
+                kind,
+                addr=moving.addr,
+                src=[src_bank, src_set, src_way],
+                dst=[dst_bank, dst_set, dst_way],
+                property="oracle",
+                rechained=was_relocated,
+                cross_bank=dst_bank != src_bank,
+            )
         self.after_set_update(src_bank, src_set)
         self.after_set_update(dst_bank, dst_set)

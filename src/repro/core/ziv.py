@@ -133,7 +133,8 @@ class ZIVScheme(InclusionScheme):
             rs = self.tracker.pick_global(bank, level)
             if rs >= 0:
                 cmp.stats.count_property_hit(f"global:{level}")
-                self._relocate(bank, set_idx, victim_way, bank, rs, ctx)
+                self._relocate(bank, set_idx, victim_way, bank, rs, ctx,
+                               level=level)
                 return self._install_into(bank, set_idx, victim_way, addr, ctx)
             if level == "likelydeadnotinprc" and cmp.char is not None:
                 # Empty LikelyDeadNotInPrC PV: ask CHAR to lower d.
@@ -147,13 +148,17 @@ class ZIVScheme(InclusionScheme):
                 "no relocation set exists in any bank; aggregate private "
                 "capacity must exceed the LLC capacity"
             )
-        rbank, rs = target
+        rbank, rs, level = target
         cmp.stats.relocations_cross_bank += 1
-        self._relocate(bank, set_idx, victim_way, rbank, rs, ctx)
+        self._relocate(bank, set_idx, victim_way, rbank, rs, ctx,
+                       level=level, cross_bank=True)
         return self._install_into(bank, set_idx, victim_way, addr, ctx)
 
-    def _find_cross_bank_target(self, bank: int) -> tuple[int, int] | None:
-        """One-hop neighbours first, then the remaining banks."""
+    def _find_cross_bank_target(
+        self, bank: int
+    ) -> tuple[int, int, str] | None:
+        """One-hop neighbours first, then the remaining banks.  Returns
+        (bank, relocation set, satisfied property level)."""
         banks = self.cmp.llc.geometry.banks
         order = []
         if banks > 1:
@@ -163,7 +168,7 @@ class ZIVScheme(InclusionScheme):
             for level in self.ladder:
                 rs = self.tracker.pick_global(b, level)
                 if rs >= 0:
-                    return b, rs
+                    return b, rs, level
         return None
 
     def _relocate(
@@ -174,9 +179,15 @@ class ZIVScheme(InclusionScheme):
         dst_bank: int,
         dst_set: int,
         ctx: AccessContext,
+        level: str | None = None,
+        cross_bank: bool = False,
     ) -> None:
         """Move the block at (src_bank, src_set, src_way) into the chosen
-        relocation set, evicting an inclusion-victim-free block there."""
+        relocation set, evicting an inclusion-victim-free block there.
+
+        ``level`` names the property-ladder rung that supplied the
+        relocation set and ``cross_bank`` flags the III-D1 fallback; both
+        exist only to label the telemetry event."""
         cmp = self.cmp
         dst_cache = cmp.llc.banks[dst_bank]
         dst_way = self.tracker.select_relocation_victim(
@@ -215,6 +226,22 @@ class ZIVScheme(InclusionScheme):
         cmp.stats.relocation_fifo_peak = max(
             cmp.stats.relocation_fifo_peak, self.reloc.fifo_peak
         )
+        telemetry = cmp.telemetry
+        if telemetry is not None:
+            kind = (
+                "cross_bank_fallback" if cross_bank
+                else "re_relocation" if was_relocated
+                else "relocation"
+            )
+            telemetry.emit(
+                kind,
+                addr=moving.addr,
+                src=[src_bank, src_set, src_way],
+                dst=[dst_bank, dst_set, dst_way],
+                property=level,
+                rechained=was_relocated,
+                cross_bank=cross_bank,
+            )
         self.after_set_update(src_bank, src_set)
         self.after_set_update(dst_bank, dst_set)
 

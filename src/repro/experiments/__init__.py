@@ -58,3 +58,18 @@ def run_figure(name: str, scale=None) -> FigureResult:
         raise ValueError(f"unknown figure {name!r}; known: {ALL_FIGURES}")
     mod = importlib.import_module(f"repro.experiments.{name}")
     return mod.run(scale)
+
+
+def figure_recipes(name: str, scale=None) -> list:
+    """The recipes ``run_figure(name, scale)`` will request, when the
+    figure module enumerates them (``recipes(scale)``); empty otherwise.
+    Lets callers pre-resolve the runs through
+    :func:`repro.sim.parallel.run_many` -- with progress heartbeats or a
+    worker pool -- before the (then memo-served) figure assembly."""
+    import importlib
+
+    if name not in ALL_FIGURES:
+        raise ValueError(f"unknown figure {name!r}; known: {ALL_FIGURES}")
+    mod = importlib.import_module(f"repro.experiments.{name}")
+    recipes = getattr(mod, "recipes", None)
+    return list(recipes(scale)) if recipes is not None else []

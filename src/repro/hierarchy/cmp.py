@@ -61,6 +61,9 @@ class CacheHierarchy:
         self.stats = SimStats.for_cores(config.cores)
         self.scheme = scheme
         self.char: Optional[CharEngine] = None
+        # Bound by TelemetryCollector.bind() for the duration of a traced
+        # run; None otherwise, so emission sites pay one attribute check.
+        self.telemetry = None
         self.energy = EnergyModel(ziv_mode=scheme.name.startswith("ziv"))
         self._wants_hints = getattr(scheme, "wants_private_hit_hints", False)
         from repro.hierarchy.interconnect import make_interconnect
@@ -485,16 +488,26 @@ class CacheHierarchy:
         self.stats.back_invalidations_dir += 1
         addr = displaced.addr
         dirty_any = False
+        victims = 0
         mask = displaced.sharers
         core = 0
         while mask:
             if mask & 1:
                 copies, dirty = self.private[core].invalidate(addr)
                 if copies:
+                    victims += 1
                     self.stats.inclusion_victims_dir += 1
                 dirty_any = dirty_any or dirty
             mask >>= 1
             core += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "directory_eviction",
+                addr=addr,
+                sharers=displaced.sharers,
+                victims=victims,
+                relocated=displaced.relocated,
+            )
         if displaced.relocated:
             b, s, w = (
                 displaced.reloc_bank,
@@ -541,12 +554,14 @@ class CacheHierarchy:
         else:
             self.stats.back_invalidations_dir += 1
         dirty_any = False
+        victims = 0
         mask = entry.sharers
         core = 0
         while mask:
             if mask & 1:
                 copies, dirty = self.private[core].invalidate(addr)
                 if copies:
+                    victims += 1
                     if reason == "llc":
                         self.stats.inclusion_victims_llc += 1
                     else:
@@ -554,6 +569,14 @@ class CacheHierarchy:
                 dirty_any = dirty_any or dirty
             mask >>= 1
             core += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "back_invalidation",
+                addr=addr,
+                trigger=reason,
+                sharers=entry.sharers,
+                victims=victims,
+            )
         self.directory.free(addr)
         if dirty_any:
             b, s, way = self.llc.location(addr)

@@ -242,6 +242,81 @@ class AuditParams:
             )
 
 
+#: Telemetry severity levels, least to most severe.
+TELEMETRY_SEVERITIES = ("debug", "info", "warn")
+
+#: Telemetry event categories (see :mod:`repro.sim.telemetry`).
+TELEMETRY_CATEGORIES = ("relocation", "coherence", "directory", "char")
+
+
+@dataclass(frozen=True)
+class TelemetryParams:
+    """Telemetry-layer settings (see :mod:`repro.sim.telemetry`).
+
+    ``interval`` is the sampling cadence in accesses: every ``interval``-th
+    access the collector snapshots the delta of every
+    :class:`~repro.sim.stats.SimStats` counter plus the live gauges
+    (relocation-FIFO depth, per-property ``emptyPV`` state, CHAR ``d``,
+    directory occupancy) into a ring-buffered time series of at most
+    ``ring_capacity`` samples (oldest dropped first).
+
+    ``events`` selects structured event tracing: the empty string traces
+    nothing, ``"all"`` traces every category, and a ``+``-joined list
+    (e.g. ``"relocation+char"``) traces a subset.  Events below
+    ``min_severity`` are dropped; at most ``max_events`` are retained.
+
+    Telemetry settings are part of :class:`SystemConfig`, so they
+    participate in the parallel runner's recipe cache key exactly like
+    :class:`AuditParams`: a telemetry-enabled run never aliases a plain
+    run in the persistent result cache.  With ``enabled=False`` the
+    simulation adds no per-access work beyond one predicate check.
+    """
+
+    enabled: bool = False
+    interval: int = 1000
+    ring_capacity: int = 4096
+    events: str = ""
+    max_events: int = 65536
+    min_severity: str = "info"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError(
+                f"telemetry interval must be positive, got {self.interval}"
+            )
+        if self.ring_capacity <= 0:
+            raise ConfigError(
+                f"telemetry ring_capacity must be positive, "
+                f"got {self.ring_capacity}"
+            )
+        if self.max_events <= 0:
+            raise ConfigError(
+                f"telemetry max_events must be positive, "
+                f"got {self.max_events}"
+            )
+        if self.min_severity not in TELEMETRY_SEVERITIES:
+            raise ConfigError(
+                f"unknown telemetry severity {self.min_severity!r}; "
+                f"expected one of {TELEMETRY_SEVERITIES}"
+            )
+        for cat in self.event_categories():
+            if cat not in TELEMETRY_CATEGORIES:
+                raise ConfigError(
+                    f"unknown telemetry event category {cat!r}; "
+                    f"expected one of {TELEMETRY_CATEGORIES} or 'all'"
+                )
+
+    def event_categories(self) -> tuple:
+        """The traced categories as a tuple ('all' expanded)."""
+        if not self.events:
+            return ()
+        if self.events == "all":
+            return TELEMETRY_CATEGORIES
+        return tuple(
+            tok for tok in (t.strip() for t in self.events.split("+")) if tok
+        )
+
+
 @dataclass(frozen=True)
 class CHARParams:
     """Parameters of the adapted CHAR dead-block inference (paper III-D6)."""
@@ -269,6 +344,7 @@ class SystemConfig:
     char: CHARParams = field(default_factory=CHARParams)
     prefetch: PrefetchParams = field(default_factory=PrefetchParams)
     audit: AuditParams = field(default_factory=AuditParams)
+    telemetry: TelemetryParams = field(default_factory=TelemetryParams)
     directory_mode: str = "mesi"  # "mesi" (bounded) or "zerodev" (spilling)
     relocation_fifo_depth: int = 8
     nextrs_latency: int = 3  # cycles to recompute decoded nextRS (synthesis)

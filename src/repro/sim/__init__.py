@@ -18,6 +18,18 @@ from repro.sim.parallel import (
 )
 from repro.sim.report import compare_results, describe_result
 from repro.sim.sweep import SweepPoint, SweepRow, format_sweep, run_sweep
+from repro.sim.telemetry import (
+    ProgressPrinter,
+    RunProgress,
+    TelemetryCollector,
+    TelemetryEvent,
+    TelemetryResult,
+    TimeSeries,
+    events_from_jsonl,
+    events_to_jsonl,
+    parse_telemetry_spec,
+    resolve_telemetry,
+)
 from repro.sim.tracefile import load_workload, save_workload
 
 __all__ = [
@@ -46,4 +58,14 @@ __all__ = [
     "format_sweep",
     "save_workload",
     "load_workload",
+    "TelemetryCollector",
+    "TelemetryEvent",
+    "TelemetryResult",
+    "TimeSeries",
+    "RunProgress",
+    "ProgressPrinter",
+    "parse_telemetry_spec",
+    "resolve_telemetry",
+    "events_to_jsonl",
+    "events_from_jsonl",
 ]

@@ -26,6 +26,11 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.sim.audit import AuditReport, InvariantAuditor, resolve_audit
 from repro.sim.stats import SimStats
+from repro.sim.telemetry import (
+    TelemetryCollector,
+    TelemetryResult,
+    resolve_telemetry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.energy.model import EnergyModel
@@ -49,6 +54,7 @@ class SimResult:
     energy: Optional["EnergyModel"] = None
     scheme_stats: Optional[dict] = None
     audit: Optional[AuditReport] = None
+    telemetry: Optional[TelemetryResult] = None
 
     @property
     def ipc_per_core(self) -> list[float]:
@@ -68,6 +74,7 @@ class Simulation:
         scheduling: str = "timing",
         llc_policy_name: Optional[str] = None,
         audit=None,
+        telemetry=None,
     ) -> None:
         if scheduling not in ("timing", "lockstep"):
             raise ValueError(f"unknown scheduling mode {scheduling!r}")
@@ -84,6 +91,11 @@ class Simulation:
         # hierarchy configuration's audit section (config.audit) so that
         # cached recipes and direct runs agree on whether they audit.
         self.audit_params = resolve_audit(audit, hierarchy.config.audit)
+        # ``telemetry``: TelemetryParams or a spec string; same resolution
+        # order (explicit > REPRO_TELEMETRY > config.telemetry).
+        self.telemetry_params = resolve_telemetry(
+            telemetry, hierarchy.config.telemetry
+        )
 
     def run(self) -> SimResult:
         auditor = (
@@ -96,12 +108,26 @@ class Simulation:
             if auditor is not None and self.audit_params.interval > 0
             else None
         )
+        collector = (
+            TelemetryCollector(self.hierarchy, self.telemetry_params)
+            if self.telemetry_params.enabled
+            else None
+        )
+        telemetry_hook = None
+        if collector is not None:
+            collector.bind()
+            telemetry_hook = collector.on_access
         if self.scheduling == "timing":
-            cycles = self._run_timing(audit_hook)
+            cycles = self._run_timing(audit_hook, telemetry_hook)
         else:
-            cycles = self._run_lockstep(audit_hook)
+            cycles = self._run_lockstep(audit_hook, telemetry_hook)
         self.hierarchy.finalize_stats()
         report = auditor.finalize() if auditor is not None else None
+        telemetry_result = (
+            collector.finalize(self.hierarchy.stats.total_accesses)
+            if collector is not None
+            else None
+        )
         return SimResult(
             stats=self.hierarchy.stats,
             cycles=cycles,
@@ -111,11 +137,12 @@ class Simulation:
             energy=self.hierarchy.energy,
             scheme_stats=self.hierarchy.scheme.on_stats(),
             audit=report,
+            telemetry=telemetry_result,
         )
 
     # -- timing mode ------------------------------------------------------------
 
-    def _run_timing(self, audit_hook=None) -> int:
+    def _run_timing(self, audit_hook=None, telemetry_hook=None) -> int:
         h = self.hierarchy
         base_cpi = h.config.core.base_cpi
         # Hot loop: every per-access attribute lookup is hoisted into a
@@ -138,6 +165,8 @@ class Simulation:
             rec = traces[core][idx]
             gap = rec.gap
             issue = ready + int(gap * base_cpi)
+            if telemetry_hook is not None:
+                telemetry_hook(global_pos)
             latency = access(
                 core,
                 rec.addr,
@@ -162,12 +191,14 @@ class Simulation:
 
     # -- lockstep mode -------------------------------------------------------------
 
-    def _run_lockstep(self, audit_hook=None) -> int:
+    def _run_lockstep(self, audit_hook=None, telemetry_hook=None) -> int:
         h = self.hierarchy
         access = h.access
         core_stats = h.stats.cores
         pos = 0
         for core, rec in interleave_records(self.workload):
+            if telemetry_hook is not None:
+                telemetry_hook(pos)
             access(
                 core,
                 rec.addr,
@@ -194,12 +225,16 @@ def run_workload(
     oracle=None,
     policy_kwargs: Optional[dict] = None,
     audit=None,
+    telemetry=None,
 ) -> SimResult:
     """Convenience one-call runner: build hierarchy + scheme, simulate.
 
     ``audit`` (AuditParams or a spec string like ``"end,fail"``) enables
     the invariant auditor; when omitted, the ``REPRO_AUDIT`` environment
-    variable and then ``config.audit`` decide."""
+    variable and then ``config.audit`` decide.  ``telemetry``
+    (TelemetryParams or a spec string like ``"250,events=relocation"``)
+    enables interval sampling/event tracing the same way, via
+    ``REPRO_TELEMETRY`` and ``config.telemetry``."""
     from repro.hierarchy.cmp import CacheHierarchy
     from repro.schemes import make_scheme
 
@@ -217,5 +252,6 @@ def run_workload(
         scheduling=scheduling,
         llc_policy_name=llc_policy,
         audit=audit,
+        telemetry=telemetry,
     )
     return sim.run()

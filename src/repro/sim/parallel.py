@@ -51,7 +51,9 @@ from repro.sim.trace import Workload
 #: "2": SimResult grew the ``audit`` field (invariant-audit reports);
 #: audit settings ride the config and thus the key, so audited and
 #: unaudited runs never alias.
-CACHE_VERSION = "2"
+#: "3": SimResult grew the ``telemetry`` field; pre-telemetry pickles
+#: would deserialise without the attribute.
+CACHE_VERSION = "3"
 
 _DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -129,11 +131,13 @@ class RunRecipe:
             self.workload,
             scheduling=self.scheduling,
             llc_policy_name=self.policy,
-            # Audit settings come from the config (and therefore from the
-            # cache key) alone: the REPRO_AUDIT environment variable must
-            # never be consulted inside a worker, or an audited result
-            # could be stored under an unaudited key.
+            # Audit/telemetry settings come from the config (and therefore
+            # from the cache key) alone: the REPRO_AUDIT/REPRO_TELEMETRY
+            # environment variables must never be consulted inside a
+            # worker, or an instrumented result could be stored under an
+            # uninstrumented key.
             audit=self.config.audit,
+            telemetry=self.config.telemetry,
         )
         return sim.run()
 
@@ -152,6 +156,7 @@ def make_recipe(
     scheme_kwargs: Optional[dict] = None,
     policy_kwargs: Optional[dict] = None,
     audit=None,
+    telemetry=None,
 ) -> RunRecipe:
     """Build a :class:`RunRecipe` with the same defaults the experiment
     modules use.
@@ -164,9 +169,12 @@ def make_recipe(
     ``audit`` (AuditParams or a spec string, default: the ``REPRO_AUDIT``
     environment variable, else the config's own ``audit`` section) is
     resolved *here*, at recipe-construction time, and baked into the
-    config -- and therefore into the recipe's cache key."""
+    config -- and therefore into the recipe's cache key.  ``telemetry``
+    (TelemetryParams or a spec string, default: ``REPRO_TELEMETRY``, else
+    the config's ``telemetry`` section) is resolved the same way."""
     from repro.params import scaled_config
     from repro.sim.audit import resolve_audit
+    from repro.sim.telemetry import resolve_telemetry
 
     if config is None:
         config = scaled_config(
@@ -179,6 +187,9 @@ def make_recipe(
     audit_params = resolve_audit(audit, config.audit)
     if audit_params != config.audit:
         config = config.replace(audit=audit_params)
+    telemetry_params = resolve_telemetry(telemetry, config.telemetry)
+    if telemetry_params != config.telemetry:
+        config = config.replace(telemetry=telemetry_params)
     if policy == "belady":
         scheduling = "lockstep"
     return RunRecipe(
@@ -315,20 +326,27 @@ def fetch_or_run(recipe: RunRecipe) -> SimResult:
     """Resolve one recipe through the cache layers: in-process memo, then
     disk, then a fresh (serial) simulation.  Completed runs are written
     back to both layers."""
+    return _fetch_with_source(recipe)[0]
+
+
+def _fetch_with_source(recipe: RunRecipe) -> "tuple[SimResult, str]":
+    """:func:`fetch_or_run` plus provenance: which layer resolved the
+    recipe (``"memo"``, ``"disk"`` or ``"run"``), for progress
+    heartbeats."""
     key = recipe.key()
     result = _MEMO.get(key)
     if result is not None:
-        return result
+        return result, "memo"
     if cache_enabled():
         result = load_result(key)
         if result is not None:
             _MEMO[key] = result
-            return result
+            return result, "disk"
     result = recipe.execute()
     _MEMO[key] = result
     if cache_enabled():
         store_result(key, result)
-    return result
+    return result, "run"
 
 
 def _execute_recipe(item: "tuple[str, RunRecipe]") -> "tuple[str, SimResult]":
@@ -368,6 +386,7 @@ def run_many(
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     labels: Optional[Sequence[str]] = None,
+    heartbeat=None,
 ) -> list[SimResult]:
     """Run every recipe, in parallel when ``jobs`` allows, and return the
     results in submission order.
@@ -381,8 +400,21 @@ def run_many(
 
     ``progress`` (if given) is called with a short label -- ``labels[i]``
     when provided, else the recipe's scheme/policy/workload -- as each
-    submitted recipe is resolved."""
+    submitted recipe is resolved.
+
+    ``heartbeat`` (if given) receives one
+    :class:`~repro.sim.telemetry.RunProgress` per resolved recipe with
+    cache-provenance counts, simulated accesses/second and a pessimistic
+    ETA (e.g. a :class:`~repro.sim.telemetry.ProgressPrinter`).  Cache
+    hits heartbeat as they resolve; fresh simulations heartbeat as each
+    completes."""
+    from repro.sim.telemetry import ProgressTracker
+
     n_jobs = resolve_jobs(jobs)
+    tracker = (
+        ProgressTracker(len(recipes), n_jobs) if heartbeat is not None
+        else None
+    )
 
     def label_of(i: int, recipe: RunRecipe) -> str:
         if labels is not None:
@@ -395,20 +427,42 @@ def run_many(
         for i, recipe in enumerate(recipes):
             if progress is not None:
                 progress(label_of(i, recipe))
-            out.append(fetch_or_run(recipe))
+            result, source = _fetch_with_source(recipe)
+            if tracker is not None:
+                heartbeat(tracker.advance(label_of(i, recipe), source,
+                                          result))
+            out.append(result)
         return out
 
     # Resolve what we can from the caches; collect unique misses.
     pending: dict[str, RunRecipe] = {}
-    for recipe, key in zip(recipes, keys):
-        if key in _MEMO or key in pending:
+    pending_label: dict[str, str] = {}
+    for i, (recipe, key) in enumerate(zip(recipes, keys)):
+        if key in pending:
+            continue
+        if key in _MEMO:
+            if tracker is not None:
+                heartbeat(tracker.advance(label_of(i, recipe), "memo",
+                                          _MEMO[key]))
             continue
         if cache_enabled():
             cached = load_result(key)
             if cached is not None:
                 _MEMO[key] = cached
+                if tracker is not None:
+                    heartbeat(tracker.advance(label_of(i, recipe), "disk",
+                                              cached))
                 continue
         pending[key] = recipe
+        pending_label[key] = label_of(i, recipe)
+    if tracker is not None:
+        # Duplicates of pending misses resolve for free at merge time;
+        # account for them so completed counts reach the total.
+        seen: set = set()
+        for recipe, key in zip(recipes, keys):
+            if key in pending and key in seen:
+                heartbeat(tracker.advance(pending_label[key], "memo", None))
+            seen.add(key)
 
     if pending:
         items = list(pending.items())
@@ -417,7 +471,18 @@ def run_many(
         else:
             ctx = multiprocessing.get_context(_start_method())
             with ctx.Pool(processes=min(n_jobs, len(items))) as pool:
-                completed = list(pool.imap(_execute_recipe, items))
+                completed = pool.imap(_execute_recipe, items)
+                results = []
+                for key, result in completed:
+                    results.append((key, result))
+                    if tracker is not None:
+                        heartbeat(tracker.advance(
+                            pending_label[key], "run", result
+                        ))
+                completed = results
+        if len(items) == 1 and tracker is not None:
+            key, result = completed[0]
+            heartbeat(tracker.advance(pending_label[key], "run", result))
         for key, result in completed:
             _MEMO[key] = result
             if cache_enabled():

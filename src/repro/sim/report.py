@@ -36,6 +36,26 @@ def describe_result(result: SimResult) -> str:
     if result.energy is not None:
         epi = result.energy.epi_pj(max(1, s.total_instructions))
         lines.append(f"energy        : {epi:.1f} pJ/instruction")
+    if result.audit is not None:
+        lines.append(
+            f"audit         : {len(result.audit.violations)} violation(s) "
+            f"over {result.audit.sweeps} sweep(s)"
+            + (" [truncated]" if result.audit.truncated else "")
+        )
+    if result.telemetry is not None:
+        t = result.telemetry
+        lines.append(
+            f"telemetry     : {len(t.series)} sample(s) at interval "
+            f"{t.params.interval}"
+            + (f", {t.series.dropped} dropped" if t.series.dropped else "")
+        )
+        if t.params.event_categories():
+            lines.append(
+                f"events        : {len(t.events)} traced "
+                f"({'+'.join(t.params.event_categories())})"
+                + (f", {t.dropped_events} dropped"
+                   if t.dropped_events else "")
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,101 @@
+"""Docs-as-tests: every fenced ``python`` block in the user-facing
+documentation must actually run.
+
+Each documented file's blocks execute *sequentially in one shared
+namespace*, so a later block may use names a previous block defined --
+exactly how a reader would paste them into one interpreter session.
+Blocks whose first line is ``# docs-test: skip`` are exempt (use
+sparingly: illustrative fragments that need unavailable context).
+
+The docs are written to be smoke-fast; the session-wide
+``REPRO_CACHE_DIR`` isolation from conftest applies here too, so doc
+runs never touch (or get served from) the repo's real result cache.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = (
+    "README.md",
+    "docs/API.md",
+    "docs/OBSERVABILITY.md",
+)
+
+SKIP_MARKER = "# docs-test: skip"
+
+_FENCE_OPEN = re.compile(r"^```python\s*$")
+_FENCE_CLOSE = re.compile(r"^```\s*$")
+
+
+def python_blocks(path: pathlib.Path) -> list[tuple[int, str]]:
+    """``(first_line_number, source)`` for every fenced python block."""
+    blocks: list[tuple[int, str]] = []
+    buf: list[str] = []
+    start = 0
+    in_block = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not in_block and _FENCE_OPEN.match(line):
+            in_block, buf, start = True, [], lineno + 1
+        elif in_block and _FENCE_CLOSE.match(line):
+            in_block = False
+            blocks.append((start, "\n".join(buf)))
+        elif in_block:
+            buf.append(line)
+    assert not in_block, f"unterminated ```python fence in {path}"
+    return blocks
+
+
+def test_every_doc_file_exists_and_has_blocks():
+    for rel in DOC_FILES:
+        path = REPO_ROOT / rel
+        assert path.is_file(), f"documented file missing: {rel}"
+        assert python_blocks(path), f"no fenced python blocks in {rel}"
+
+
+@pytest.mark.parametrize("rel", DOC_FILES)
+def test_doc_python_blocks_execute(rel, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    path = REPO_ROOT / rel
+    namespace: dict = {"__name__": f"docs_test[{rel}]"}
+    ran = 0
+    for lineno, source in python_blocks(path):
+        if source.lstrip().startswith(SKIP_MARKER):
+            continue
+        code = compile(source, f"{rel}:{lineno}", "exec")
+        try:
+            exec(code, namespace)
+        except Exception as exc:  # pragma: no cover - failure path
+            pytest.fail(
+                f"{rel} block at line {lineno} raised "
+                f"{type(exc).__name__}: {exc}\n--- block ---\n{source}"
+            )
+        ran += 1
+    assert ran > 0, f"all python blocks in {rel} were skip-marked"
+
+
+def test_skip_marker_is_honoured(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "text\n```python\n# docs-test: skip\nraise RuntimeError('boom')\n"
+        "```\n```python\nx = 1\n```\n"
+    )
+    blocks = python_blocks(doc)
+    assert len(blocks) == 2
+    assert blocks[0][1].lstrip().startswith(SKIP_MARKER)
+    assert blocks[1] == (7, "x = 1")
+
+
+def test_extractor_line_numbers_point_at_block_bodies():
+    buf = io.StringIO()
+    path = REPO_ROOT / "README.md"
+    text = path.read_text().splitlines()
+    for lineno, source in python_blocks(path):
+        first = source.splitlines()[0] if source else ""
+        assert text[lineno - 1] == first, buf.getvalue()

@@ -38,6 +38,31 @@ class TestDescribe:
         r2 = run_workload(cfg, workload(), "inclusive")
         assert "prefetches" in describe_result(r2)
 
+    def test_audit_and_telemetry_lines_only_when_ran(self):
+        plain = run_workload(tiny_config(), workload(), "ziv:notinprc")
+        out = describe_result(plain)
+        assert "audit" not in out
+        assert "telemetry" not in out
+
+        instrumented = run_workload(
+            tiny_config(), workload(), "ziv:notinprc",
+            audit="end", telemetry="50,events=relocation",
+        )
+        out2 = describe_result(instrumented)
+        assert "audit         : 0 violation(s)" in out2
+        assert "telemetry     :" in out2
+        assert "sample(s) at interval 50" in out2
+        assert "events        :" in out2
+        assert "(relocation)" in out2
+
+    def test_telemetry_event_line_needs_event_tracing(self):
+        r = run_workload(
+            tiny_config(), workload(), "ziv:notinprc", telemetry="50"
+        )
+        out = describe_result(r)
+        assert "telemetry     :" in out
+        assert "events        :" not in out
+
 
 class TestCompare:
     def test_compare_reports_speedup_and_ratios(self):
