@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Run the repo's static-analysis pass without an installed package.
+
+Equivalent to ``PYTHONPATH=src python -m repro lint``; exists so CI and
+pre-commit hooks have a single-file entry point that works from a bare
+checkout.
+
+Usage:  python scripts/run_lint.py [paths...] [--format=json]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

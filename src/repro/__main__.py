@@ -9,6 +9,7 @@ Commands
 ``sidechannel``          prime+probe campaign across designs
 ``config``               print the scaled and paper-scale configurations
 ``cache``                inspect or clear the persistent result cache
+``lint``                 static-analysis pass enforcing simulator invariants
 """
 
 from __future__ import annotations
@@ -163,6 +164,12 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache", help="inspect/clear the on-disk result cache")
     p.add_argument("action", nargs="?", default="info",
                    choices=("info", "clear"))
+
+    p = sub.add_parser(
+        "lint",
+        help="static-analysis pass enforcing simulator invariants "
+             "(determinism, cache-key completeness, counter discipline, "
+             "telemetry guarding, event-schema sync)",
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p)
     return parser
 
 
@@ -257,6 +274,7 @@ def main(argv=None) -> int:
         "sidechannel": _cmd_sidechannel,
         "config": _cmd_config,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

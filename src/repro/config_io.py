@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.params import (
     AuditParams,
@@ -38,7 +39,7 @@ from repro.params import (
     TelemetryParams,
 )
 
-_SECTIONS = {
+_SECTIONS: dict[str, type[Any]] = {
     "l1": CacheGeometry,
     "l2": CacheGeometry,
     "llc": LLCGeometry,
@@ -52,12 +53,12 @@ _SECTIONS = {
 }
 
 
-def config_to_dict(config: SystemConfig) -> dict:
+def config_to_dict(config: SystemConfig) -> dict[str, Any]:
     """Nested plain-dict form of a configuration."""
     return dataclasses.asdict(config)
 
 
-def config_from_dict(data: dict) -> SystemConfig:
+def config_from_dict(data: dict[str, Any]) -> SystemConfig:
     """Build a :class:`SystemConfig` from a nested dict.
 
     Unknown keys raise :class:`ConfigError` (catching typos beats silently
@@ -69,7 +70,7 @@ def config_from_dict(data: dict) -> SystemConfig:
     unknown = set(data) - known
     if unknown:
         raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
-    kwargs = {}
+    kwargs: dict[str, Any] = {}
     for key, value in data.items():
         cls = _SECTIONS.get(key)
         if cls is None:
@@ -93,11 +94,11 @@ def config_from_dict(data: dict) -> SystemConfig:
         raise ConfigError(str(exc)) from exc
 
 
-def save_config(config: SystemConfig, path) -> None:
+def save_config(config: SystemConfig, path: str | Path) -> None:
     Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
 
 
-def load_config(path) -> SystemConfig:
+def load_config(path: str | Path) -> SystemConfig:
     try:
         data = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:

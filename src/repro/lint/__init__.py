@@ -1,0 +1,52 @@
+"""Repo-specific static analysis: machine-checked simulator invariants.
+
+Three PRs in a row hand-maintained the same cross-cutting contracts:
+``AuditParams``/``TelemetryParams`` had to be threaded through
+``SystemConfig`` *and* ``config_io`` (or the recipe cache key silently
+loses a dimension), telemetry emission sites had to stay behind the
+enabled-predicate (or the disabled hot path regresses), and the
+persistent result cache of :mod:`repro.sim.parallel` rests entirely on
+bitwise-deterministic simulation.  This package turns each of those
+regression classes into a permanent AST-level rule:
+
+==========================  ================================================
+rule id                     invariant enforced
+==========================  ================================================
+``determinism``             no unseeded ``random``, wall-clock reads or
+                            set-order iteration in simulator code
+``cache-key-completeness``  every ``SystemConfig`` field round-trips
+                            through :mod:`repro.config_io`
+``counter-discipline``      only declared ``SimStats``/``CoreStats``
+                            fields are ever incremented
+``telemetry-guard``         every event-emission call sits behind the
+                            ``telemetry is not None`` predicate
+``event-schema-sync``       emitted event kinds == ``EVENT_KINDS`` ==
+                            the schema table in docs/OBSERVABILITY.md
+==========================  ================================================
+
+Run it as ``python -m repro lint`` (or ``scripts/run_lint.py``); findings
+are plain ``file:line: [rule] message`` lines or JSON.  A finding is
+silenced for one line with a trailing ``# repro-lint: ignore[rule]``
+comment.  See docs/STATIC_ANALYSIS.md for the rule catalog with the
+history behind each rule.
+"""
+
+from repro.lint.model import (
+    Finding,
+    findings_from_json,
+    findings_to_json,
+)
+from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.runner import format_findings, lint_paths
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "findings_from_json",
+    "findings_to_json",
+    "format_findings",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,93 @@
+"""The ``repro lint`` command-line front end.
+
+Exit status: 0 clean, 1 findings, 2 usage error -- the same contract as
+the runtime auditor's CLI path, so CI treats any nonzero as a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.lint.project import LintError
+from repro.lint.registry import all_rules
+from repro.lint.runner import format_findings, lint_paths
+
+#: What a bare ``repro lint`` scans: the package itself, plus the docs
+#: tree (the event-schema rule reads docs/OBSERVABILITY.md).
+DEFAULT_PATHS = ("src/repro", "docs")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options (shared by ``repro lint`` and the script)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="human",
+        choices=("human", "json"),
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only this comma-separated subset of rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    rule_ids = (
+        [tok.strip() for tok in args.rules.split(",") if tok.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        paths = list(args.paths) if args.paths else _existing_defaults()
+        findings = lint_paths(paths, rule_ids=rule_ids)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+def _existing_defaults() -> list[str]:
+    import pathlib
+
+    paths = [p for p in DEFAULT_PATHS if pathlib.Path(p).exists()]
+    if not paths:
+        raise LintError(
+            f"none of the default paths exist here: {DEFAULT_PATHS}; "
+            f"run from the repository root or pass explicit paths"
+        )
+    return paths
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="static-analysis pass enforcing simulator invariants",
+    )
+    add_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

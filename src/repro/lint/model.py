@@ -1,0 +1,59 @@
+"""The lint finding model and its JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line.
+
+    ``file`` is the path as scanned (repo-relative when the runner was
+    given relative paths), ``line`` is 1-based.  Orderable so reports are
+    stable regardless of rule execution order."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            file=str(data["file"]),
+            line=int(data["line"]),
+            rule_id=str(data["rule_id"]),
+            message=str(data["message"]),
+        )
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Serialise findings to a stable JSON document."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [f.to_dict() for f in sorted(findings)],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def findings_from_json(text: str) -> list[Finding]:
+    """Parse a document produced by :func:`findings_to_json`."""
+    data = json.loads(text)
+    return [Finding.from_dict(d) for d in data["findings"]]

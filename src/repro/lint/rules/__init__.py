@@ -1,0 +1,10 @@
+"""Built-in rules (importing this package registers them all)."""
+
+from repro.lint.rules.scope import SIMULATOR_SCOPE  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    cache_key,
+    counters,
+    determinism,
+    event_schema,
+    telemetry_guard,
+)

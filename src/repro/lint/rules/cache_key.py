@@ -1,0 +1,248 @@
+"""Rule: every ``SystemConfig`` field round-trips through ``config_io``.
+
+The parallel runner's persistent cache keys a result by a content hash
+of the run recipe, whose machine description is the *serialised*
+``SystemConfig``.  A field that exists on the dataclass but is missing
+from :mod:`repro.config_io` therefore changes simulation behaviour
+without changing the cache key -- two different machines alias the same
+``.repro_cache`` entry and one of them silently gets the other's
+results.  This happened twice in recent history (``AuditParams`` and
+``TelemetryParams`` both had to be hand-threaded through
+``SystemConfig`` *and* ``config_io`` with a ``CACHE_VERSION`` bump);
+this rule makes the omission a lint failure instead of a code-review
+memory test.
+
+Statically, the rule cross-references two files:
+
+* ``params.py`` -- the ``SystemConfig`` dataclass: every annotated field,
+  and which of them are themselves params/geometry dataclasses declared
+  in the same module (the *sections*);
+* ``config_io.py`` -- the ``_SECTIONS`` registry (section name -> class)
+  and the ``known`` scalar-key set in ``config_from_dict``.
+
+Checks: every section-typed field is registered in ``_SECTIONS`` under
+its own name *with the matching class*; every scalar field appears in
+the ``known`` key set; and every ``_SECTIONS``/``known`` entry still
+names a live ``SystemConfig`` field (staleness cuts both ways).  Nested
+``*Params`` fields need no per-field check: ``config_to_dict`` uses
+``dataclasses.asdict`` and ``config_from_dict`` validates against
+``dataclasses.fields(cls)``, so nested completeness follows from the
+top-level registration this rule enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.lint.model import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import decorator_names
+
+_CONFIG_CLASS = "SystemConfig"
+
+
+@dataclass(frozen=True)
+class _Field:
+    name: str
+    annotation: Optional[str]
+    line: int
+
+
+def _annotation_name(node: ast.expr) -> Optional[str]:
+    """The flat class name of a simple annotation (``AuditParams``,
+    ``"SystemConfig"`` string forms); None for anything fancier."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip()
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dataclass_names(tree: ast.Module) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        and "dataclass" in decorator_names(node)
+    }
+
+
+def _system_config_fields(tree: ast.Module) -> Optional[list[_Field]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS:
+            fields = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append(
+                        _Field(
+                            name=stmt.target.id,
+                            annotation=_annotation_name(stmt.annotation),
+                            line=stmt.lineno,
+                        )
+                    )
+            return fields
+    return None
+
+
+def _bound_value(node: ast.stmt, name: str) -> Optional[ast.expr]:
+    """The RHS if ``node`` binds ``name`` (plain or annotated assign)."""
+    if (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and node.targets[0].id == name
+    ):
+        return node.value
+    if (
+        isinstance(node, ast.AnnAssign)
+        and isinstance(node.target, ast.Name)
+        and node.target.id == name
+    ):
+        return node.value
+    return None
+
+
+def _sections_registry(
+    tree: ast.Module,
+) -> Optional[tuple[dict[str, str], int]]:
+    """``({section_key: class_name}, lineno)`` from ``_SECTIONS``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = _bound_value(node, "_SECTIONS")
+        if isinstance(value, ast.Dict):
+            out: dict[str, str] = {}
+            for key, item in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    cls = _annotation_name(item)
+                    out[key.value] = cls if cls is not None else "?"
+            return out, node.lineno
+    return None
+
+
+def _known_scalars(tree: ast.Module) -> Optional[tuple[set[str], int]]:
+    """String keys of the ``known = {...} | ...`` scalar-key set."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = _bound_value(node, "known")
+        if value is not None:
+            keys = {
+                n.value
+                for n in ast.walk(value)
+                if isinstance(n, ast.Constant) and isinstance(n.value, str)
+            }
+            return keys, node.lineno
+    return None
+
+
+@register
+class CacheKeyCompletenessRule(Rule):
+    rule_id = "cache-key-completeness"
+    description = (
+        "every SystemConfig field must be serialised by config_io "
+        "(missing fields silently alias distinct machines in the "
+        "persistent result cache)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        params = project.find_module("params.py")
+        config_io = project.find_module("config_io.py")
+        if params is None or config_io is None:
+            return
+        if params.tree is None or config_io.tree is None:
+            return
+        fields = _system_config_fields(params.tree)
+        if fields is None:
+            return
+
+        dataclasses_here = _dataclass_names(params.tree)
+        sections = _sections_registry(config_io.tree)
+        known = _known_scalars(config_io.tree)
+        if sections is None:
+            yield Finding(
+                file=config_io.rel,
+                line=1,
+                rule_id=self.rule_id,
+                message=(
+                    "no _SECTIONS registry found; config_io cannot "
+                    "deserialise SystemConfig sections"
+                ),
+            )
+            return
+        section_map, sections_line = sections
+        known_keys, known_line = known if known is not None else (set(), 1)
+
+        field_names = {f.name for f in fields}
+        for f in fields:
+            is_section = (
+                f.annotation is not None
+                and f.annotation in dataclasses_here
+            )
+            if is_section:
+                registered = section_map.get(f.name)
+                if registered is None:
+                    yield Finding(
+                        file=params.rel,
+                        line=f.line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"SystemConfig field {f.name!r} "
+                            f"({f.annotation}) is not registered in "
+                            f"config_io._SECTIONS: it will not "
+                            f"deserialise and the recipe cache key "
+                            f"loses a dimension"
+                        ),
+                    )
+                elif registered != f.annotation:
+                    yield Finding(
+                        file=config_io.rel,
+                        line=sections_line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"_SECTIONS maps {f.name!r} to "
+                            f"{registered}, but SystemConfig declares "
+                            f"it as {f.annotation}"
+                        ),
+                    )
+            elif f.name not in known_keys:
+                yield Finding(
+                    file=params.rel,
+                    line=f.line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"SystemConfig scalar field {f.name!r} is "
+                        f"missing from config_io's known key set: "
+                        f"config_from_dict would reject it as unknown"
+                    ),
+                )
+        for key in sorted(section_map):
+            if key not in field_names:
+                yield Finding(
+                    file=config_io.rel,
+                    line=sections_line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"_SECTIONS registers {key!r}, which is not a "
+                        f"SystemConfig field (stale entry)"
+                    ),
+                )
+        for key in sorted(known_keys - field_names):
+            yield Finding(
+                file=config_io.rel,
+                line=known_line,
+                rule_id=self.rule_id,
+                message=(
+                    f"config_io accepts key {key!r}, which is not a "
+                    f"SystemConfig field (stale entry)"
+                ),
+            )

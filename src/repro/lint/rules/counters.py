@@ -1,0 +1,203 @@
+"""Rule: only declared ``SimStats``/``CoreStats`` fields are incremented.
+
+``SimStats`` is ``@dataclass(slots=True)``, so ``stats.llc_hitz += 1``
+raises at runtime -- but only on the path that executes it, and
+``__slots__`` does not protect the hot-path idiom of hoisting a nested
+object into a local first (``cs = self.stats.cores[core]`` followed by
+``cs.l1_hitz += 1`` fails only when that line runs).  This rule finds
+every augmented assignment whose target is an attribute of a
+*stats-derived* expression and checks the attribute against the fields
+declared in ``stats.py`` -- including increments of read-only aggregate
+properties (``stats.l2_misses += 1`` would raise ``AttributeError``).
+
+"Stats-derived" is tracked per function by a tiny alias analysis: an
+expression is tainted when it mentions an attribute or bare name
+``stats``, or a local previously assigned from a tainted expression
+(so the hoisted ``core_stats = h.stats.cores; cs = core_stats[core]``
+chain in the engine is still covered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.lint.model import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules.scope import SIMULATOR_SCOPE
+from repro.lint.visitor import decorator_names
+
+_STATS_CLASSES = ("SimStats", "CoreStats")
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def declared_counters(
+    stats_file: SourceFile,
+) -> Optional[tuple[frozenset[str], frozenset[str]]]:
+    """``(fields, properties)`` declared by SimStats + CoreStats, or None
+    when the file defines neither class."""
+    tree = stats_file.tree
+    if tree is None:
+        return None
+    fields: set[str] = set()
+    props: set[str] = set()
+    found = False
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.ClassDef) and node.name in _STATS_CLASSES
+        ):
+            continue
+        found = True
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                fields.add(stmt.target.id)
+            elif isinstance(stmt, ast.FunctionDef):
+                if "property" in decorator_names(stmt):
+                    props.add(stmt.name)
+    if not found:
+        return None
+    return frozenset(fields), frozenset(props)
+
+
+def _scopes(tree: ast.Module) -> Iterator[ScopeNode]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _tainted_names(scope: ScopeNode) -> frozenset[str]:
+    """Locals of ``scope`` aliased (transitively) to a stats expression."""
+    tainted: set[str] = set()
+
+    def expr_tainted(expr: ast.AST) -> bool:
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Attribute) and n.attr == "stats":
+                return True
+            if isinstance(n, ast.Name) and (
+                n.id == "stats" or n.id in tainted
+            ):
+                return True
+        return False
+
+    # Fixpoint over plain name assignments; chains are short, so the
+    # pass count is bounded by the alias depth (capped defensively).
+    for _ in range(8):
+        changed = False
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id not in tainted
+                    and expr_tainted(node.value)
+                ):
+                    tainted.add(target.id)
+                    changed = True
+        if not changed:
+            break
+    return frozenset(tainted)
+
+
+class _Checker:
+    def __init__(
+        self,
+        sf: SourceFile,
+        fields: frozenset[str],
+        props: frozenset[str],
+    ) -> None:
+        self.sf = sf
+        self.fields = fields
+        self.props = props
+        self.findings: list[Finding] = []
+        self._seen: set[tuple[int, str]] = set()
+
+    def run(self) -> list[Finding]:
+        tree = self.sf.tree
+        if tree is None:
+            return []
+        # Functions re-walk their own bodies after the module pass; the
+        # (line, attr) dedup set keeps each site reported once.
+        for scope in _scopes(tree):
+            tainted = _tainted_names(scope)
+            for node in ast.walk(scope):
+                if isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Attribute
+                ):
+                    self._check(node, node.target, tainted)
+        return self.findings
+
+    def _check(
+        self,
+        node: ast.AugAssign,
+        target: ast.Attribute,
+        tainted: frozenset[str],
+    ) -> None:
+        base = target.value
+        if not self._base_is_stats(base, tainted):
+            return
+        attr = target.attr
+        key = (node.lineno, attr)
+        if key in self._seen:
+            return
+        if attr in self.fields:
+            return
+        self._seen.add(key)
+        if attr in self.props:
+            msg = (
+                f"increment of read-only stats aggregate {attr!r} "
+                f"(a property; would raise AttributeError at runtime)"
+            )
+        else:
+            msg = (
+                f"increment of undeclared stats counter {attr!r}; "
+                f"declare it as a SimStats/CoreStats field in stats.py "
+                f"so telemetry and reports can see it"
+            )
+        self.findings.append(
+            Finding(
+                file=self.sf.rel,
+                line=node.lineno,
+                rule_id=CounterDisciplineRule.rule_id,
+                message=msg,
+            )
+        )
+
+    @staticmethod
+    def _base_is_stats(base: ast.AST, tainted: frozenset[str]) -> bool:
+        for n in ast.walk(base):
+            if isinstance(n, ast.Attribute) and n.attr == "stats":
+                return True
+            if isinstance(n, ast.Name) and (
+                n.id == "stats" or n.id in tainted
+            ):
+                return True
+        return False
+
+
+@register
+class CounterDisciplineRule(Rule):
+    rule_id = "counter-discipline"
+    description = (
+        "every incremented SimStats/CoreStats attribute must be a "
+        "declared field (catches typo'd counters __slots__ misses on "
+        "hoisted locals)"
+    )
+    scope_dirs = SIMULATOR_SCOPE
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        stats_file = project.find_module("stats.py")
+        if stats_file is None:
+            return
+        declared = declared_counters(stats_file)
+        if declared is None:
+            return
+        fields, props = declared
+        for sf in self.files(project):
+            assert isinstance(sf, SourceFile)
+            yield from _Checker(sf, fields, props).run()

@@ -1,0 +1,134 @@
+"""Rule: simulator code must be bitwise deterministic.
+
+The persistent result cache (:mod:`repro.sim.parallel`) serves a cached
+``SimResult`` whenever a recipe's content hash matches -- which is only
+sound if re-running the simulation would reproduce the result bit for
+bit.  Three constructs silently break that:
+
+* **module-level ``random`` calls** (``random.random()``,
+  ``random.Random()`` with no seed, ``random.shuffle(...)``): state is
+  shared, unseeded and process-global.  Every RNG in simulator code must
+  be a ``random.Random(seed)`` instance.
+* **wall-clock reads** (``time.time()``, ``time.perf_counter()``,
+  ``datetime.now()``): any value derived from them differs across runs.
+* **iteration over set displays/constructors**: for strings (and any
+  object using the default hash) iteration order depends on
+  ``PYTHONHASHSEED``, so ``for x in {...}`` can reorder evictions
+  between two runs of the same recipe.
+
+Pure wall-clock *reporting* (progress heartbeats that never touch a
+``SimResult``) is the intended use of the per-line suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.model import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules.scope import SIMULATOR_SCOPE
+from repro.lint.visitor import LintVisitor, dotted_name
+
+#: ``random.<fn>`` calls that hit the module-global, unseeded RNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    (
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    )
+)
+
+#: ``time.<fn>`` wall-clock reads.
+CLOCK_FUNCS = frozenset(
+    (
+        "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+        "process_time", "process_time_ns", "time", "time_ns",
+    )
+)
+
+#: ``datetime``-style "now" constructors.
+DATE_FUNCS = frozenset(("now", "today", "utcnow"))
+
+
+class _DeterminismVisitor(LintVisitor):
+    rule_id = "determinism"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in GLOBAL_RANDOM_FUNCS:
+            self.report(
+                node,
+                f"call to module-level random.{tail}() uses the shared "
+                f"unseeded RNG and poisons result-cache determinism; "
+                f"use a random.Random(seed) instance",
+            )
+        elif name == "random.Random" and not node.args and not node.keywords:
+            self.report(
+                node,
+                "random.Random() without a seed draws entropy from the "
+                "OS; pass an explicit seed",
+            )
+        elif head.split(".")[-1] == "time" and tail in CLOCK_FUNCS:
+            self.report(
+                node,
+                f"wall-clock read {name}() makes simulation output "
+                f"run-dependent; derive timing from simulated cycles",
+            )
+        elif tail in DATE_FUNCS and "datetime" in head.split("."):
+            self.report(
+                node,
+                f"{name}() reads the wall clock; simulation state must "
+                f"not depend on real time",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_iter(self, it: ast.expr) -> None:
+        bad: Optional[str] = None
+        if isinstance(it, (ast.Set, ast.SetComp)):
+            bad = "a set display"
+        elif (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("set", "frozenset")
+        ):
+            bad = f"{it.func.id}(...)"
+        if bad is not None:
+            self.report(
+                it,
+                f"iteration over {bad}: set order depends on "
+                f"PYTHONHASHSEED for str keys; iterate a sorted() or "
+                f"insertion-ordered sequence instead",
+            )
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "determinism"
+    description = (
+        "no unseeded random, wall-clock reads or set-order iteration in "
+        "simulator code (the content-hash result cache requires bitwise "
+        "determinism)"
+    )
+    scope_dirs = SIMULATOR_SCOPE
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in self.files(project):
+            assert isinstance(sf, SourceFile)
+            yield from _DeterminismVisitor(sf).run()

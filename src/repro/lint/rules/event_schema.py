@@ -1,0 +1,309 @@
+"""Rule: emitted event kinds, ``EVENT_KINDS`` and the docs agree.
+
+The telemetry event stream is a public schema: docs/OBSERVABILITY.md
+documents one table row per kind (name, category, severity, payload),
+``repro.sim.telemetry.EVENT_KINDS`` declares the kind -> (category,
+severity) mapping that filtering uses, and the engine/scheme/CHAR code
+emits kinds by string.  Three artefacts, three ways to drift.  This rule
+pins them together:
+
+* every ``emit("<kind>", ...)`` site names a declared kind (an unknown
+  kind is a ``KeyError`` at the first traced run, but only on the path
+  that emits it);
+* every declared kind is documented in the kind table, with the *same*
+  category and severity the code declares;
+* every documented kind is still declared (no ghost rows);
+* every declared kind is emitted somewhere (dead schema entries);
+* declared categories/severities are drawn from the
+  ``TELEMETRY_CATEGORIES`` / ``TELEMETRY_SEVERITIES`` vocabularies in
+  ``params.py`` when those are present.
+
+Emit sites whose kind is a variable are resolved by collecting the
+string literals assigned to that variable in the enclosing function
+(the relocation path selects among three kinds via one conditional
+expression); a kind the rule cannot resolve is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.lint.model import Finding
+from repro.lint.project import DocFile, Project, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules.scope import SIMULATOR_SCOPE
+from repro.lint.rules.telemetry_guard import is_telemetry_expr
+from repro.lint.visitor import LintVisitor, string_constants
+
+_DOC_NAME = "OBSERVABILITY.md"
+
+#: Header row of the kind table in the observability doc.
+_TABLE_HEADER = re.compile(
+    r"^\|\s*Kind\s*\|\s*Category\s*\|\s*Severity\s*\|", re.IGNORECASE
+)
+_TABLE_ROW = re.compile(r"^\|\s*`(?P<kind>[A-Za-z0-9_]+)`\s*\|")
+
+
+def _tuple_constant(node: ast.expr) -> Optional[tuple[str, ...]]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def _module_tuple(tree: ast.Module, name: str) -> Optional[tuple[str, ...]]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            return _tuple_constant(node.value)
+    return None
+
+
+def declared_event_kinds(
+    tree: ast.Module,
+) -> Optional[dict[str, tuple[Optional[tuple[str, ...]], int]]]:
+    """``{kind: ((category, severity) | None, lineno)}`` from the
+    ``EVENT_KINDS`` dict; None when the file does not declare it."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "EVENT_KINDS"
+            and isinstance(node.value, ast.Dict)
+        ):
+            out: dict[str, tuple[Optional[tuple[str, ...]], int]] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    out[key.value] = (_tuple_constant(value), key.lineno)
+            return out
+    return None
+
+
+def documented_kinds(doc: DocFile) -> dict[str, tuple[str, str, int]]:
+    """``{kind: (category, severity, lineno)}`` from the kind table."""
+    out: dict[str, tuple[str, str, int]] = {}
+    in_table = False
+    for lineno, line in enumerate(doc.text.splitlines(), 1):
+        if _TABLE_HEADER.match(line):
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        if not line.lstrip().startswith("|"):
+            in_table = False
+            continue
+        m = _TABLE_ROW.match(line)
+        if m is None:
+            continue  # the |---| separator row
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) < 3:
+            continue
+        category = cells[1].split()[0] if cells[1] else ""
+        severity = cells[2].split()[0] if cells[2] else ""
+        out[m.group("kind")] = (category, severity, lineno)
+    return out
+
+
+class _EmitSiteVisitor(LintVisitor):
+    """Collects ``(kind | None, node)`` for every telemetry emit call."""
+
+    rule_id = "event-schema-sync"
+
+    def __init__(self, source_file: SourceFile) -> None:
+        super().__init__(source_file)
+        self.sites: list[tuple[Optional[set[str]], ast.Call]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "emit"
+            and is_telemetry_expr(func.value)
+            and node.args
+        ):
+            self.sites.append((self._resolve_kind(node.args[0]), node))
+        self.generic_visit(node)
+
+    def _resolve_kind(self, arg: ast.expr) -> Optional[set[str]]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return {arg.value}
+        if isinstance(arg, ast.Name):
+            fn = self.current_function
+            if fn is None:
+                return None
+            kinds: set[str] = set()
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == arg.id
+                    for t in stmt.targets
+                ):
+                    kinds |= string_constants(stmt.value)
+            return kinds or None
+        if isinstance(arg, ast.IfExp):
+            return string_constants(arg) or None
+        return None
+
+
+@register
+class EventSchemaSyncRule(Rule):
+    rule_id = "event-schema-sync"
+    description = (
+        "event kinds emitted in code, declared in EVENT_KINDS and "
+        "documented in docs/OBSERVABILITY.md must agree (names, "
+        "categories, severities)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        telemetry = project.find_module("telemetry.py")
+        if telemetry is None or telemetry.tree is None:
+            return
+        declared = declared_event_kinds(telemetry.tree)
+        if declared is None:
+            return
+
+        params = project.find_module("params.py")
+        categories = severities = None
+        if params is not None and params.tree is not None:
+            categories = _module_tuple(params.tree, "TELEMETRY_CATEGORIES")
+            severities = _module_tuple(params.tree, "TELEMETRY_SEVERITIES")
+
+        # -- declared kinds are internally consistent ----------------------
+        for kind, (pair, line) in sorted(declared.items()):
+            if pair is None or len(pair) != 2:
+                yield Finding(
+                    file=telemetry.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"EVENT_KINDS[{kind!r}] must map to a literal "
+                        f"(category, severity) tuple"
+                    ),
+                )
+                continue
+            category, severity = pair
+            if categories is not None and category not in categories:
+                yield Finding(
+                    file=telemetry.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"EVENT_KINDS[{kind!r}] category {category!r} "
+                        f"is not in TELEMETRY_CATEGORIES"
+                    ),
+                )
+            if severities is not None and severity not in severities:
+                yield Finding(
+                    file=telemetry.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"EVENT_KINDS[{kind!r}] severity {severity!r} "
+                        f"is not in TELEMETRY_SEVERITIES"
+                    ),
+                )
+
+        # -- emit sites reference declared kinds ---------------------------
+        emitted: set[str] = set()
+        any_sites = False
+        for sf in project.scoped(SIMULATOR_SCOPE):
+            visitor = _EmitSiteVisitor(sf)
+            tree = sf.tree
+            if tree is None:
+                continue
+            visitor.visit(tree)
+            for kinds, call in visitor.sites:
+                any_sites = True
+                if kinds is None:
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            "event kind is not statically resolvable; "
+                            "emit a string literal (or a variable "
+                            "assigned only literals in this function)"
+                        ),
+                    )
+                    continue
+                emitted |= kinds
+                for kind in sorted(kinds - set(declared)):
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"emitted event kind {kind!r} is not "
+                            f"declared in EVENT_KINDS (KeyError on the "
+                            f"first traced run)"
+                        ),
+                    )
+
+        if any_sites:
+            for kind in sorted(set(declared) - emitted):
+                yield Finding(
+                    file=telemetry.rel,
+                    line=declared[kind][1],
+                    rule_id=self.rule_id,
+                    message=(
+                        f"EVENT_KINDS declares {kind!r} but no "
+                        f"simulator code emits it (dead schema entry "
+                        f"or a missed emission site)"
+                    ),
+                )
+
+        # -- the documentation table matches the declaration ---------------
+        doc = project.find_doc(_DOC_NAME)
+        if doc is None:
+            return
+        documented = documented_kinds(doc)
+        for kind, (pair, line) in sorted(declared.items()):
+            if kind not in documented:
+                yield Finding(
+                    file=telemetry.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"event kind {kind!r} is missing from the kind "
+                        f"table in {doc.rel}"
+                    ),
+                )
+                continue
+            if pair is None:
+                continue
+            doc_cat, doc_sev, doc_line = documented[kind]
+            if (doc_cat, doc_sev) != pair:
+                yield Finding(
+                    file=doc.rel,
+                    line=doc_line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"kind table documents {kind!r} as "
+                        f"({doc_cat}, {doc_sev}) but EVENT_KINDS "
+                        f"declares ({pair[0]}, {pair[1]})"
+                    ),
+                )
+        for kind, (_c, _s, line) in sorted(documented.items()):
+            if kind not in declared:
+                yield Finding(
+                    file=doc.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"kind table documents {kind!r}, which "
+                        f"EVENT_KINDS does not declare (ghost row)"
+                    ),
+                )

@@ -1,0 +1,11 @@
+"""Shared rule scopes."""
+
+from __future__ import annotations
+
+#: Directories whose code feeds cached simulation results.  Workloads,
+#: security harnesses and experiment drivers intentionally sit outside:
+#: they use seeded RNG by construction and never run inside the engine's
+#: per-access loop.
+SIMULATOR_SCOPE = frozenset(
+    ("cache", "core", "coherence", "hierarchy", "schemes", "sim")
+)

@@ -1,0 +1,73 @@
+"""Lint driver: build a project, run rules, apply suppressions.
+
+``lint_paths`` is the library entry point (the CLI and the tests both go
+through it); it returns the surviving findings sorted by file/line.
+Syntax errors in scanned files become findings themselves (rule id
+``parse-error``) rather than crashing the run, so one broken file cannot
+hide findings in the other two hundred.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.lint.model import Finding, findings_to_json
+from repro.lint.project import Project
+from repro.lint.registry import select_rules
+from repro.lint.suppress import is_suppressed
+
+PARSE_ERROR_RULE = "parse-error"
+
+
+def lint_project(
+    project: Project, rule_ids: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Run rules over an already-built project."""
+    findings: set[Finding] = set()
+    rules = select_rules(rule_ids)
+    for rule in rules:
+        findings.update(rule.check(project))
+    for sf in project.files:
+        sf.tree  # force the parse so parse_error is populated
+        if sf.parse_error is not None:
+            findings.add(
+                Finding(
+                    file=sf.rel,
+                    line=sf.parse_error.lineno or 1,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"syntax error: {sf.parse_error.msg}",
+                )
+            )
+    suppressions = {sf.rel: sf.suppressions for sf in project.files}
+    kept = [
+        f
+        for f in findings
+        if not is_suppressed(
+            suppressions.get(f.file, {}), f.line, f.rule_id
+        )
+    ]
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: list[str],
+    rule_ids: Optional[Iterable[str]] = None,
+    root: Optional[str] = None,
+) -> list[Finding]:
+    """Lint files/directories; returns sorted, suppression-filtered
+    findings.  ``root`` anchors the relative paths used in reports and
+    scope matching (defaults to the current directory)."""
+    return lint_project(Project(paths, root=root), rule_ids)
+
+
+def format_findings(findings: list[Finding], fmt: str = "human") -> str:
+    """Render findings as ``human`` report lines or a ``json`` document."""
+    if fmt == "json":
+        return findings_to_json(findings)
+    if fmt != "human":
+        raise ValueError(f"unknown format {fmt!r}")
+    if not findings:
+        return "repro lint: clean"
+    lines = [f.format() for f in findings]
+    lines.append(f"repro lint: {len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Per-line finding suppression.
+
+A finding is silenced by a trailing comment on the *reported* line:
+
+* ``# repro-lint: ignore[rule-id]`` -- silence one rule;
+* ``# repro-lint: ignore[a,b]`` -- silence several rules;
+* ``# repro-lint: ignore`` -- silence every rule on that line.
+
+Suppressions are deliberately per-line (not per-block, not per-file): a
+wide waiver would defeat the point of rules that exist because humans
+forget.  Every suppression in the tree is grep-able via the literal
+``repro-lint: ignore`` marker.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES = "*"
+
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+def suppressions_for_line(line: str) -> frozenset[str]:
+    """Rule ids suppressed by one source line (may contain ``ALL_RULES``)."""
+    m = _SUPPRESS.search(line)
+    if m is None:
+        return frozenset()
+    rules = m.group("rules")
+    if rules is None:
+        return frozenset((ALL_RULES,))
+    ids = frozenset(tok.strip() for tok in rules.split(",") if tok.strip())
+    return ids if ids else frozenset((ALL_RULES,))
+
+
+def suppression_map(source: str) -> dict[int, frozenset[str]]:
+    """``{line_number: suppressed_rule_ids}`` for every marked line."""
+    out: dict[int, frozenset[str]] = {}
+    if "repro-lint" not in source:  # fast path: most files have no marker
+        return out
+    for lineno, line in enumerate(source.splitlines(), 1):
+        ids = suppressions_for_line(line)
+        if ids:
+            out[lineno] = ids
+    return out
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    ids = suppressions.get(line)
+    if not ids:
+        return False
+    return ALL_RULES in ids or rule_id in ids

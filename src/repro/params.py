@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any
 
 
 BLOCK_SHIFT = 6
@@ -306,7 +307,7 @@ class TelemetryParams:
                     f"expected one of {TELEMETRY_CATEGORIES} or 'all'"
                 )
 
-    def event_categories(self) -> tuple:
+    def event_categories(self) -> tuple[str, ...]:
         """The traced categories as a tuple ('all' expanded)."""
         if not self.events:
             return ()
@@ -392,7 +393,7 @@ class SystemConfig:
             self, directory=DirectoryGeometry(sets=sets, ways=ways)
         )
 
-    def replace(self, **kwargs) -> "SystemConfig":
+    def replace(self, **kwargs: Any) -> "SystemConfig":
         return dataclasses.replace(self, **kwargs)
 
 

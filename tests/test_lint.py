@@ -1,0 +1,671 @@
+"""The static-analysis pass: every rule fires on a violating fixture,
+stays quiet on a clean one, suppressions work, JSON round-trips, and the
+shipped tree itself lints clean."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    all_rules,
+    findings_from_json,
+    findings_to_json,
+    get_rule,
+    lint_paths,
+)
+from repro.lint.model import Finding as ModelFinding
+from repro.lint.project import LintError, Project
+from repro.lint.runner import PARSE_ERROR_RULE, format_findings
+from repro.lint.suppress import suppressions_for_line
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EXPECTED_RULES = (
+    "cache-key-completeness",
+    "counter-discipline",
+    "determinism",
+    "event-schema-sync",
+    "telemetry-guard",
+)
+
+
+def lint_tree(tmp_path, tree: dict[str, str], rules=None) -> list[Finding]:
+    """Write a fixture tree and lint it with tmp_path as the root."""
+    for rel, content in tree.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(content)
+    return lint_paths([str(tmp_path)], rule_ids=rules, root=str(tmp_path))
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_expected_rules_registered(self):
+        assert tuple(r.rule_id for r in all_rules()) == EXPECTED_RULES
+
+    def test_every_rule_has_description(self):
+        for rule in all_rules():
+            assert rule.description
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError, match="unknown rule id"):
+            get_rule("no-such-rule")
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_unseeded_module_random_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/noise.py": (
+                "import random\n"
+                "def jitter():\n"
+                "    return random.random()\n"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+        assert "unseeded RNG" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_unseeded_random_instance_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "core/policy.py": (
+                "import random\n"
+                "rng = random.Random()\n"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+        assert "seed" in findings[0].message
+
+    def test_wall_clock_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/clock.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+        assert "wall-clock" in findings[0].message
+
+    def test_set_iteration_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "schemes/order.py": (
+                "def levels(props):\n"
+                "    return [p for p in set(props)]\n"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_seeded_rng_and_sorted_sets_stay_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/good.py": (
+                "import random\n"
+                "def pick(seed, props):\n"
+                "    rng = random.Random(seed)\n"
+                "    for p in sorted(set(props)):\n"
+                "        rng.random()\n"
+            ),
+        })
+        assert findings == []
+
+    def test_out_of_scope_dirs_are_exempt(self, tmp_path):
+        # Workload generators may use wall clocks / module randomness:
+        # they run outside the simulator scope.
+        findings = lint_tree(tmp_path, {
+            "workloads/gen.py": (
+                "import random, time\n"
+                "def f():\n"
+                "    return random.random() + time.time()\n"
+            ),
+        })
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# cache-key completeness
+# ---------------------------------------------------------------------------
+
+_PARAMS_OK = """\
+from dataclasses import dataclass, field
+
+@dataclass(frozen=True)
+class AuditParams:
+    enabled: bool = False
+
+@dataclass(frozen=True)
+class SystemConfig:
+    cores: int
+    audit: AuditParams = field(default_factory=AuditParams)
+    directory_mode: str = "mesi"
+"""
+
+_CONFIG_IO_OK = """\
+_SECTIONS = {
+    "audit": AuditParams,
+}
+
+def config_from_dict(data):
+    known = {"cores", "directory_mode"} | set(_SECTIONS)
+    return known
+"""
+
+
+class TestCacheKeyCompleteness:
+    def test_complete_round_trip_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "params.py": _PARAMS_OK,
+            "config_io.py": _CONFIG_IO_OK,
+        })
+        assert findings == []
+
+    def test_annotated_sections_registry_is_found(self, tmp_path):
+        # config_io annotates `_SECTIONS: dict[str, type[Any]] = {...}`;
+        # the rule must read AnnAssign bindings too.
+        config_io = _CONFIG_IO_OK.replace(
+            "_SECTIONS = {", "_SECTIONS: dict[str, type] = {"
+        )
+        findings = lint_tree(tmp_path, {
+            "params.py": _PARAMS_OK,
+            "config_io.py": config_io,
+        })
+        assert findings == []
+
+    def test_unregistered_section_fires(self, tmp_path):
+        params = _PARAMS_OK.replace(
+            "class SystemConfig:",
+            "class TelemetryParams:\n"
+            "    interval: int = 1000\n\n"
+            "@dataclass(frozen=True)\n"
+            "class SystemConfig:",
+        ).replace(
+            "audit: AuditParams = field(default_factory=AuditParams)",
+            "audit: AuditParams = field(default_factory=AuditParams)\n"
+            "    telemetry: TelemetryParams = "
+            "field(default_factory=TelemetryParams)",
+        )
+        findings = lint_tree(tmp_path, {
+            "params.py": params,
+            "config_io.py": _CONFIG_IO_OK,
+        })
+        assert rule_ids(findings) == ["cache-key-completeness"]
+        assert "'telemetry'" in findings[0].message
+        assert "cache key" in findings[0].message
+        assert findings[0].file == "params.py"
+
+    def test_missing_scalar_key_fires(self, tmp_path):
+        config_io = _CONFIG_IO_OK.replace('"cores", "directory_mode"',
+                                          '"cores"')
+        findings = lint_tree(tmp_path, {
+            "params.py": _PARAMS_OK,
+            "config_io.py": config_io,
+        })
+        assert rule_ids(findings) == ["cache-key-completeness"]
+        assert "'directory_mode'" in findings[0].message
+
+    def test_wrong_section_class_fires(self, tmp_path):
+        config_io = _CONFIG_IO_OK.replace(
+            '"audit": AuditParams', '"audit": CacheGeometry'
+        )
+        findings = lint_tree(tmp_path, {
+            "params.py": _PARAMS_OK,
+            "config_io.py": config_io,
+        })
+        assert rule_ids(findings) == ["cache-key-completeness"]
+        assert "CacheGeometry" in findings[0].message
+
+    def test_stale_entries_fire_both_ways(self, tmp_path):
+        config_io = _CONFIG_IO_OK.replace(
+            '"audit": AuditParams,',
+            '"audit": AuditParams,\n    "legacy": AuditParams,',
+        ).replace('"cores", "directory_mode"',
+                  '"cores", "directory_mode", "ghost"')
+        findings = lint_tree(tmp_path, {
+            "params.py": _PARAMS_OK,
+            "config_io.py": config_io,
+        })
+        messages = " ".join(f.message for f in findings)
+        assert rule_ids(findings) == ["cache-key-completeness"] * 2
+        assert "'legacy'" in messages and "'ghost'" in messages
+
+
+# ---------------------------------------------------------------------------
+# counter discipline
+# ---------------------------------------------------------------------------
+
+_STATS_FIXTURE = """\
+from dataclasses import dataclass, field
+
+@dataclass(slots=True)
+class CoreStats:
+    accesses: int = 0
+    l1_hits: int = 0
+
+@dataclass(slots=True)
+class SimStats:
+    cores: list = field(default_factory=list)
+    llc_hits: int = 0
+    llc_misses: int = 0
+
+    @property
+    def total_accesses(self):
+        return sum(c.accesses for c in self.cores)
+"""
+
+
+class TestCounterDiscipline:
+    def test_declared_counters_stay_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "hierarchy/cmp.py": (
+                "class H:\n"
+                "    def access(self, core):\n"
+                "        self.stats.llc_hits += 1\n"
+                "        cs = self.stats.cores[core]\n"
+                "        cs.accesses += 1\n"
+            ),
+        })
+        assert findings == []
+
+    def test_typoed_counter_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "hierarchy/cmp.py": (
+                "class H:\n"
+                "    def access(self):\n"
+                "        self.stats.llc_hitz += 1\n"
+            ),
+        })
+        assert rule_ids(findings) == ["counter-discipline"]
+        assert "'llc_hitz'" in findings[0].message
+
+    def test_hoisted_alias_chain_is_tracked(self, tmp_path):
+        # The engine idiom: stats -> cores list -> per-core local.
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "sim/engine.py": (
+                "def run(h, core):\n"
+                "    core_stats = h.stats.cores\n"
+                "    cs = core_stats[core]\n"
+                "    cs.l1_hitz += 1\n"
+            ),
+        })
+        assert rule_ids(findings) == ["counter-discipline"]
+        assert "'l1_hitz'" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_property_increment_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "sim/engine.py": (
+                "def run(stats):\n"
+                "    stats.total_accesses += 1\n"
+            ),
+        })
+        assert rule_ids(findings) == ["counter-discipline"]
+        assert "read-only" in findings[0].message
+
+    def test_non_stats_objects_are_ignored(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "sim/energy.py": (
+                "def tally(energy):\n"
+                "    energy.whatever_counter += 1\n"
+            ),
+        })
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# telemetry guarding
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryGuard:
+    def test_guarded_emit_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "hierarchy/cmp.py": (
+                "class H:\n"
+                "    def kill(self, addr):\n"
+                "        if self.telemetry is not None:\n"
+                "            self.telemetry.emit('back_invalidation',\n"
+                "                                addr=addr)\n"
+                "    def move(self, addr):\n"
+                "        telemetry = self.telemetry\n"
+                "        if telemetry is not None:\n"
+                "            telemetry.emit('relocation', addr=addr)\n"
+            ),
+        })
+        assert findings == []
+
+    def test_unguarded_emit_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "core/ziv.py": (
+                "class Scheme:\n"
+                "    def relocate(self, addr):\n"
+                "        self.cmp.telemetry.emit('relocation', addr=addr)\n"
+            ),
+        })
+        assert rule_ids(findings) == ["telemetry-guard"]
+        assert "one predicate check" in findings[0].message
+
+    def test_emit_in_else_branch_of_guard_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "core/char.py": (
+                "def f(self):\n"
+                "    if self.telemetry is not None:\n"
+                "        pass\n"
+                "    else:\n"
+                "        self.telemetry.emit('tau_reset', d=1)\n"
+            ),
+        })
+        assert rule_ids(findings) == ["telemetry-guard"]
+
+    def test_guard_does_not_cross_function_boundary(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "core/char.py": (
+                "def f(self):\n"
+                "    if self.telemetry is not None:\n"
+                "        def emit_later():\n"
+                "            self.telemetry.emit('tau_reset', d=1)\n"
+                "        emit_later()\n"
+            ),
+        })
+        assert rule_ids(findings) == ["telemetry-guard"]
+
+    def test_non_telemetry_emit_is_ignored(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/bus.py": (
+                "def f(signal):\n"
+                "    signal.emit('edge')\n"
+            ),
+        })
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# event-schema sync
+# ---------------------------------------------------------------------------
+
+_TELEMETRY_FIXTURE = """\
+EVENT_KINDS = {
+    "relocation": ("relocation", "info"),
+    "tau_reset": ("char", "debug"),
+}
+"""
+
+_DOC_FIXTURE = """\
+# Observability
+
+| Kind | Category | Severity | Payload |
+|---|---|---|---|
+| `relocation` | relocation | info | `addr` |
+| `tau_reset` | char | debug | `d` |
+"""
+
+_EMITTER_FIXTURE = """\
+def move(self, addr, cross_bank):
+    telemetry = self.cmp.telemetry
+    if telemetry is not None:
+        kind = "tau_reset" if cross_bank else "relocation"
+        telemetry.emit(kind, addr=addr)
+"""
+
+
+class TestEventSchemaSync:
+    def fixture(self) -> dict[str, str]:
+        return {
+            "sim/telemetry.py": _TELEMETRY_FIXTURE,
+            "core/ziv.py": _EMITTER_FIXTURE,
+            "docs/OBSERVABILITY.md": _DOC_FIXTURE,
+        }
+
+    def test_synchronised_schema_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, self.fixture())
+        assert findings == []
+
+    def test_unknown_emitted_kind_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["core/ziv.py"] = _EMITTER_FIXTURE.replace(
+            '"tau_reset" if', '"tau_rset" if'
+        )
+        findings = lint_tree(tmp_path, tree,
+                             rules=["event-schema-sync"])
+        messages = " ".join(f.message for f in findings)
+        assert "'tau_rset'" in messages
+        assert any(f.file == "core/ziv.py" for f in findings)
+
+    def test_undocumented_kind_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["docs/OBSERVABILITY.md"] = "\n".join(
+            line for line in _DOC_FIXTURE.splitlines()
+            if "tau_reset" not in line
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert rule_ids(findings) == ["event-schema-sync"]
+        assert "missing from the kind table" in findings[0].message
+
+    def test_ghost_doc_row_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["docs/OBSERVABILITY.md"] += (
+            "| `warp_drive` | relocation | info | `addr` |\n"
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert rule_ids(findings) == ["event-schema-sync"]
+        assert "ghost row" in findings[0].message
+        assert findings[0].file == "docs/OBSERVABILITY.md"
+
+    def test_category_mismatch_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["docs/OBSERVABILITY.md"] = _DOC_FIXTURE.replace(
+            "| `tau_reset` | char | debug |", "| `tau_reset` | char | info |"
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert rule_ids(findings) == ["event-schema-sync"]
+        assert "declares (char, debug)" in findings[0].message
+
+    def test_dead_schema_entry_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["sim/telemetry.py"] = _TELEMETRY_FIXTURE.replace(
+            '    "tau_reset": ("char", "debug"),',
+            '    "tau_reset": ("char", "debug"),\n'
+            '    "never_emitted": ("char", "debug"),',
+        )
+        tree["docs/OBSERVABILITY.md"] += (
+            "| `never_emitted` | char | debug | - |\n"
+        )
+        findings = lint_tree(tmp_path, tree)
+        assert rule_ids(findings) == ["event-schema-sync"]
+        assert "no simulator code emits" in findings[0].message
+
+    def test_unresolvable_kind_fires(self, tmp_path):
+        tree = self.fixture()
+        tree["core/ziv.py"] = (
+            "def move(self, kinds, addr):\n"
+            "    telemetry = self.cmp.telemetry\n"
+            "    if telemetry is not None:\n"
+            "        telemetry.emit(kinds[0], addr=addr)\n"
+        )
+        findings = lint_tree(tmp_path, tree)
+        relevant = [f for f in findings
+                    if "not statically resolvable" in f.message]
+        assert len(relevant) == 1
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    BAD = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time(){comment}\n"
+    )
+
+    def test_matching_rule_is_suppressed(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/clock.py": self.BAD.format(
+                comment="  # repro-lint: ignore[determinism]"
+            ),
+        })
+        assert findings == []
+
+    def test_bare_ignore_suppresses_everything(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/clock.py": self.BAD.format(
+                comment="  # repro-lint: ignore"
+            ),
+        })
+        assert findings == []
+
+    def test_other_rule_ignore_does_not_suppress(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/clock.py": self.BAD.format(
+                comment="  # repro-lint: ignore[telemetry-guard]"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+
+    def test_suppression_is_per_line(self, tmp_path):
+        source = (
+            "import time\n"
+            "a = time.time()  # repro-lint: ignore[determinism]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_tree(tmp_path, {"sim/clock.py": source})
+        assert [f.line for f in findings] == [3]
+
+    def test_parser_accepts_multiple_rules(self):
+        ids = suppressions_for_line(
+            "x = 1  # repro-lint: ignore[determinism, counter-discipline]"
+        )
+        assert ids == frozenset(("determinism", "counter-discipline"))
+
+
+# ---------------------------------------------------------------------------
+# Output formats and model round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestOutput:
+    def sample(self) -> list[Finding]:
+        return [
+            Finding(file="src/a.py", line=3, rule_id="determinism",
+                    message="m1"),
+            Finding(file="src/b.py", line=1, rule_id="telemetry-guard",
+                    message="m2"),
+        ]
+
+    def test_json_round_trip(self):
+        findings = self.sample()
+        assert findings_from_json(findings_to_json(findings)) == findings
+
+    def test_json_document_shape(self):
+        doc = json.loads(findings_to_json(self.sample()))
+        assert doc["count"] == 2
+        assert {f["rule_id"] for f in doc["findings"]} == {
+            "determinism", "telemetry-guard"
+        }
+
+    def test_human_format(self):
+        text = format_findings(self.sample(), "human")
+        assert "src/a.py:3: [determinism] m1" in text
+        assert "2 finding(s)" in text
+        assert format_findings([], "human") == "repro lint: clean"
+
+    def test_finding_model_reexport(self):
+        assert Finding is ModelFinding
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        findings = lint_tree(tmp_path, {"sim/broken.py": "def f(:\n"})
+        assert rule_ids(findings) == [PARSE_ERROR_RULE]
+
+
+# ---------------------------------------------------------------------------
+# CLI + the shipped tree
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_lint_subcommand_parses(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["lint", "--format", "json"])
+        assert args.command == "lint"
+        assert args.format == "json"
+
+    def test_list_rules(self, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+
+    def test_unknown_rule_is_usage_error(self, capsys, monkeypatch,
+                                         tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "x.py").write_text("pass\n")
+        assert main(["lint", "x.py", "--rules", "bogus"]) == 2
+
+    def test_violations_exit_nonzero(self, capsys, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text(
+            "import time\nT = time.time()\n"
+        )
+        assert main(["lint", "sim"]) == 1
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+
+    def test_shipped_tree_is_clean(self, capsys, monkeypatch):
+        """The meta-test: `repro lint` exits 0 on this repository."""
+        from repro.__main__ import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_shipped_tree_json_round_trips(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        findings = lint_paths(["src/repro", "docs"])
+        assert findings_from_json(findings_to_json(findings)) == findings
+        assert findings == []
+
+
+class TestProject:
+    def test_find_module_prefers_shortest_path(self, tmp_path):
+        (tmp_path / "params.py").write_text("A = 1\n")
+        nested = tmp_path / "deep" / "nested"
+        nested.mkdir(parents=True)
+        (nested / "params.py").write_text("B = 2\n")
+        project = Project([str(tmp_path)], root=str(tmp_path))
+        found = project.find_module("params.py")
+        assert found is not None and found.rel == "params.py"
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths(["definitely/not/here"])
