@@ -60,6 +60,8 @@ def _cmd_run(args) -> int:
         config = load_config(args.config)
     else:
         config = scaled_config(args.l2)
+    if args.engine != config.engine:
+        config = config.replace(engine=args.engine)
     if args.workload.startswith("mt:"):
         wl = multithreaded_workload(
             args.workload[3:], cores=config.cores, n_accesses=args.accesses
@@ -196,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--l2", default="512KB",
                    choices=("256KB", "512KB", "768KB", "1MB"))
     p.add_argument("--accesses", type=int, default=4000)
+    p.add_argument("--engine", default="object",
+                   choices=("object", "fast"),
+                   help="simulation engine: the reference object engine "
+                        "or the array-state fast engine (identical "
+                        "statistics, several times faster)")
     p.add_argument("--config", default=None, metavar="FILE.json",
                    help="machine description (see repro.config_io)")
     p.add_argument("--audit", nargs="?", const="end", default=None,

@@ -66,7 +66,7 @@ def config_from_dict(data: dict[str, Any]) -> SystemConfig:
     if not isinstance(data, dict):
         raise ConfigError("configuration must be a JSON object")
     known = {"cores", "directory_mode", "relocation_fifo_depth",
-             "nextrs_latency"} | set(_SECTIONS)
+             "nextrs_latency", "engine"} | set(_SECTIONS)
     unknown = set(data) - known
     if unknown:
         raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")

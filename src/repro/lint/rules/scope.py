@@ -5,7 +5,10 @@ from __future__ import annotations
 #: Directories whose code feeds cached simulation results.  Workloads,
 #: security harnesses and experiment drivers intentionally sit outside:
 #: they use seeded RNG by construction and never run inside the engine's
-#: per-access loop.
+#: per-access loop.  Scope matching is by path component, so ``sim``
+#: already covers nested packages; ``fast`` is listed explicitly so the
+#: array-state engine (``repro.sim.fast``) stays covered even if it is
+#: ever promoted to a top-level package.
 SIMULATOR_SCOPE = frozenset(
-    ("cache", "core", "coherence", "hierarchy", "schemes", "sim")
+    ("cache", "core", "coherence", "hierarchy", "schemes", "sim", "fast")
 )

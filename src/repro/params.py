@@ -349,12 +349,15 @@ class SystemConfig:
     directory_mode: str = "mesi"  # "mesi" (bounded) or "zerodev" (spilling)
     relocation_fifo_depth: int = 8
     nextrs_latency: int = 3  # cycles to recompute decoded nextRS (synthesis)
+    engine: str = "object"  # "object" (reference oracle) or "fast" (arrays)
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
             raise ConfigError("cores must be positive")
         if self.directory_mode not in ("mesi", "zerodev"):
             raise ConfigError(f"unknown directory_mode {self.directory_mode!r}")
+        if self.engine not in ("object", "fast"):
+            raise ConfigError(f"unknown engine {self.engine!r}")
         if self.aggregate_private_blocks >= self.llc.blocks:
             raise ConfigError(
                 "aggregate private cache capacity (L1 + L2; the private "

@@ -1,0 +1,276 @@
+"""Differential oracle harness: object engine vs fast engine.
+
+The array-state engine (:mod:`repro.sim.fast`) only earns its speed if
+it is *bit-identical* to the reference object engine -- same
+:class:`~repro.sim.stats.SimStats` and per-core counters, same cycle
+count, same energy ledger, same scheme extras, same invariant-audit
+outcome and same telemetry stream.  This module runs one
+:class:`~repro.sim.parallel.RunRecipe` through both engines and reports
+every field that differs, so a single call answers "does the fast
+engine still reproduce the oracle on this run?".
+
+Typical use::
+
+    from repro.sim.differential import diff_recipe, diff_grid
+
+    report = diff_recipe(make_recipe(wl, "ziv:notinprc", policy="srrip"))
+    assert report.ok, report.summary()
+
+    # the full supported scheme x policy grid on one workload
+    reports = diff_grid([wl])
+    assert all(r.ok for r in reports)
+
+Determinism note: this module feeds test and CI gates, so it performs
+no wall-clock reads (the :mod:`repro.lint` determinism rule covers it);
+timing comparisons live in ``benchmarks/bench_fast_engine.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.engine import SimResult
+from repro.sim.fast import SUPPORTED_POLICIES, SUPPORTED_SCHEMES
+from repro.sim.parallel import RunRecipe, make_recipe
+
+#: Canonical grid axes: every scheme/policy pair the fast engine claims.
+GRID_SCHEMES: tuple[str, ...] = tuple(sorted(SUPPORTED_SCHEMES))
+GRID_POLICIES: tuple[str, ...] = tuple(sorted(SUPPORTED_POLICIES))
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One field where the two engines disagree."""
+
+    field: str
+    object_value: str
+    fast_value: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.field}: object={self.object_value} "
+            f"fast={self.fast_value}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one recipe run through both engines."""
+
+    scheme: str
+    policy: str
+    workload: str
+    directory_mode: str
+    divergences: list[Divergence] = field(default_factory=list)
+    object_result: Optional[SimResult] = None
+    fast_result: Optional[SimResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        head = (
+            f"differential {self.scheme}/{self.policy}/"
+            f"{self.directory_mode} on {self.workload}: "
+        )
+        if self.ok:
+            return head + "identical"
+        lines = [head + f"{len(self.divergences)} divergence(s)"]
+        lines += [f"  {d}" for d in self.divergences]
+        return "\n".join(lines)
+
+
+def _clip(value) -> str:
+    text = repr(value)
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _diff_mapping(prefix: str, a: dict, b: dict, out: list) -> None:
+    for key in sorted(set(a) | set(b), key=str):
+        va = a.get(key, "<absent>")
+        vb = b.get(key, "<absent>")
+        if isinstance(va, dict) and isinstance(vb, dict):
+            _diff_mapping(f"{prefix}.{key}", va, vb, out)
+        elif va != vb:
+            out.append(Divergence(f"{prefix}.{key}", _clip(va), _clip(vb)))
+
+
+def compare_results(obj: SimResult, fast: SimResult) -> list[Divergence]:
+    """Every observable field where the two results differ.
+
+    Statistics (including per-core counters), cycle counts, the energy
+    ledger, scheme extras, the audit report and the telemetry stream are
+    all compared; an empty list means the runs were indistinguishable.
+    """
+    out: list[Divergence] = []
+    _diff_mapping(
+        "stats",
+        dataclasses.asdict(obj.stats),
+        dataclasses.asdict(fast.stats),
+        out,
+    )
+    if obj.cycles != fast.cycles:
+        out.append(Divergence("cycles", _clip(obj.cycles),
+                              _clip(fast.cycles)))
+    if obj.energy is not None or fast.energy is not None:
+        ea = dataclasses.asdict(obj.energy) if obj.energy else {}
+        eb = dataclasses.asdict(fast.energy) if fast.energy else {}
+        _diff_mapping("energy", ea, eb, out)
+    _diff_mapping(
+        "scheme_stats", obj.scheme_stats or {}, fast.scheme_stats or {}, out
+    )
+    out.extend(_compare_audit(obj.audit, fast.audit))
+    out.extend(_compare_telemetry(obj.telemetry, fast.telemetry))
+    return out
+
+
+def _compare_audit(a, b) -> list[Divergence]:
+    if a is None and b is None:
+        return []
+    if a is None or b is None:
+        return [Divergence("audit", _clip(a), _clip(b))]
+    out: list[Divergence] = []
+    if a.sweeps != b.sweeps:
+        out.append(Divergence("audit.sweeps", _clip(a.sweeps),
+                              _clip(b.sweeps)))
+    if a.truncated != b.truncated:
+        out.append(
+            Divergence("audit.truncated", _clip(a.truncated),
+                       _clip(b.truncated))
+        )
+    if a.violations != b.violations:
+        out.append(
+            Divergence(
+                "audit.violations",
+                _clip([str(v) for v in a.violations]),
+                _clip([str(v) for v in b.violations]),
+            )
+        )
+    return out
+
+
+def _compare_telemetry(a, b) -> list[Divergence]:
+    if a is None and b is None:
+        return []
+    if a is None or b is None:
+        return [Divergence("telemetry", _clip(a), _clip(b))]
+    out: list[Divergence] = []
+    if a.params != b.params:
+        out.append(Divergence("telemetry.params", _clip(a.params),
+                              _clip(b.params)))
+    # TimeSeries has no __eq__; its dict form is the canonical content.
+    _diff_mapping(
+        "telemetry.series", a.series.to_dict(), b.series.to_dict(), out
+    )
+    if a.events != b.events:
+        out.append(
+            Divergence(
+                "telemetry.events",
+                _clip([str(e) for e in a.events]),
+                _clip([str(e) for e in b.events]),
+            )
+        )
+    if a.dropped_events != b.dropped_events:
+        out.append(
+            Divergence(
+                "telemetry.dropped_events",
+                _clip(a.dropped_events),
+                _clip(b.dropped_events),
+            )
+        )
+    return out
+
+
+def diff_recipe(recipe: RunRecipe, keep_results: bool = False) -> DiffReport:
+    """Run ``recipe`` through both engines and compare everything.
+
+    The recipe's own ``config.engine`` is ignored: one run is forced to
+    ``engine="object"`` and one to ``engine="fast"`` (both uncached --
+    the persistent result cache is deliberately bypassed so a stale
+    cache entry can never mask a divergence)."""
+    obj = dataclasses.replace(
+        recipe, config=recipe.config.replace(engine="object")
+    ).execute()
+    fast = dataclasses.replace(
+        recipe, config=recipe.config.replace(engine="fast")
+    ).execute()
+    return DiffReport(
+        scheme=recipe.scheme,
+        policy=recipe.policy,
+        workload=recipe.workload.name,
+        directory_mode=recipe.config.directory_mode,
+        divergences=compare_results(obj, fast),
+        object_result=obj if keep_results else None,
+        fast_result=fast if keep_results else None,
+    )
+
+
+def grid_recipes(
+    workloads: Sequence,
+    schemes: Iterable[str] = GRID_SCHEMES,
+    policies: Iterable[str] = GRID_POLICIES,
+    directory_modes: Iterable[str] = ("mesi", "zerodev"),
+    l2: str = "256KB",
+    cores: int = 8,
+    audit="end,collect",
+    telemetry=None,
+) -> list[RunRecipe]:
+    """The differential grid: scheme x policy x directory-mode x workload.
+
+    Audit defaults to an end-of-run collecting sweep so every report also
+    certifies that *both* engines finish in an invariant-clean state."""
+    return [
+        make_recipe(
+            wl,
+            scheme,
+            policy=policy,
+            l2=l2,
+            cores=cores,
+            directory_mode=dmode,
+            audit=audit,
+            telemetry=telemetry,
+        )
+        for scheme in schemes
+        for policy in policies
+        for dmode in directory_modes
+        for wl in workloads
+    ]
+
+
+def diff_grid(
+    workloads: Sequence,
+    schemes: Iterable[str] = GRID_SCHEMES,
+    policies: Iterable[str] = GRID_POLICIES,
+    directory_modes: Iterable[str] = ("mesi", "zerodev"),
+    l2: str = "256KB",
+    cores: int = 8,
+    audit="end,collect",
+    telemetry=None,
+) -> list[DiffReport]:
+    """Run the full differential grid; one report per cell."""
+    return [
+        diff_recipe(r)
+        for r in grid_recipes(
+            workloads,
+            schemes=schemes,
+            policies=policies,
+            directory_modes=directory_modes,
+            l2=l2,
+            cores=cores,
+            audit=audit,
+            telemetry=telemetry,
+        )
+    ]
+
+
+def summarize(reports: Sequence[DiffReport]) -> str:
+    """A one-line verdict plus the summary of every diverging cell."""
+    bad = [r for r in reports if not r.ok]
+    head = (
+        f"differential grid: {len(reports)} cell(s), "
+        f"{len(bad)} diverging"
+    )
+    return "\n".join([head] + [r.summary() for r in bad])

@@ -117,7 +117,19 @@ class Simulation:
         if collector is not None:
             collector.bind()
             telemetry_hook = collector.on_access
-        if self.scheduling == "timing":
+        # The fast engine ships a fused batch driver (loop + access in one
+        # frame, counters batched in locals).  It is only valid when no
+        # per-access hook observes intermediate counter state, so it runs
+        # exactly when both hooks are absent; results are bit-identical.
+        fused = getattr(self.hierarchy, "run_trace", None)
+        if (
+            fused is not None
+            and self.scheduling == "timing"
+            and audit_hook is None
+            and telemetry_hook is None
+        ):
+            cycles = fused(self.workload)
+        elif self.scheduling == "timing":
             cycles = self._run_timing(audit_hook, telemetry_hook)
         else:
             cycles = self._run_lockstep(audit_hook, telemetry_hook)
@@ -234,18 +246,40 @@ def run_workload(
     variable and then ``config.audit`` decide.  ``telemetry``
     (TelemetryParams or a spec string like ``"250,events=relocation"``)
     enables interval sampling/event tracing the same way, via
-    ``REPRO_TELEMETRY`` and ``config.telemetry``."""
+    ``REPRO_TELEMETRY`` and ``config.telemetry``.
+
+    ``config.engine`` selects the implementation: ``"object"`` (default)
+    builds the reference :class:`~repro.hierarchy.cmp.CacheHierarchy`;
+    ``"fast"`` builds the array-state
+    :class:`~repro.sim.fast.FastHierarchy`, which produces identical
+    statistics (the differential harness enforces this) but does not
+    support replacement oracles."""
     from repro.hierarchy.cmp import CacheHierarchy
     from repro.schemes import make_scheme
 
-    scheme = make_scheme(scheme_name)
-    hierarchy = CacheHierarchy(
-        config,
-        scheme,
-        llc_policy=llc_policy,
-        oracle=oracle,
-        policy_kwargs=policy_kwargs,
-    )
+    if getattr(config, "engine", "object") == "fast":
+        from repro.sim.fast import FastHierarchy
+
+        if oracle is not None:
+            raise ValueError(
+                "replacement oracles require the object engine; "
+                "set engine='object' to use oracle="
+            )
+        hierarchy = FastHierarchy(
+            config,
+            scheme_name,
+            llc_policy=llc_policy,
+            policy_kwargs=policy_kwargs,
+        )
+    else:
+        scheme = make_scheme(scheme_name)
+        hierarchy = CacheHierarchy(
+            config,
+            scheme,
+            llc_policy=llc_policy,
+            oracle=oracle,
+            policy_kwargs=policy_kwargs,
+        )
     sim = Simulation(
         hierarchy,
         workload,

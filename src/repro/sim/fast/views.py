@@ -1,0 +1,251 @@
+"""Object-protocol views over the fast engine's flat arrays.
+
+The invariant auditor (:mod:`repro.sim.audit`) and the telemetry
+collector (:mod:`repro.sim.telemetry`) read hierarchy state through the
+object engine's protocol -- ``llc.probe``/``llc.block``/``banks[b].blocks``,
+``directory.peek``/``iter_valid``, ``private[c].resident_addrs`` and the
+scheme's ``tracker``/``reloc`` attributes.  These views materialise that
+protocol on demand from :class:`~repro.sim.fast.engine.FastHierarchy`'s
+packed lists, so the *same* audit code validates both engines and the
+differential harness can compare audit reports verbatim.
+
+Views are read paths only: block/entry objects are materialised copies,
+never the engine's state, so an auditor (which must be side-effect free)
+cannot perturb a run through them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cache.block import CacheBlock, DirectoryEntry
+
+
+def _materialize_block(h, pos: int) -> CacheBlock:
+    """A CacheBlock copy of the packed LLC state at ``pos``."""
+    blk = CacheBlock()
+    addr = h.llc_tag[pos]
+    if addr >= 0:
+        m = h.llc_meta[pos]
+        blk.addr = addr
+        blk.valid = True
+        blk.dirty = bool(m & 1)
+        blk.relocated = bool(m & 2)
+        blk.not_in_prc = bool(m & 4)
+        blk.nru = bool(m & 8)
+        blk.rrpv = m >> 4
+        blk.stamp = h.llc_stamp[pos]
+    return blk
+
+
+class _PolicyView:
+    """The slice of the replacement-policy interface audits consult."""
+
+    __slots__ = ()
+
+    max_rrpv = 7
+
+
+class _LazySetBlocks:
+    """``cache.blocks`` of one bank: a sequence of per-set block lists,
+    materialised set-by-set as the auditor indexes or iterates."""
+
+    __slots__ = ("_h", "_bank")
+
+    def __init__(self, h, bank: int) -> None:
+        self._h = h
+        self._bank = bank
+
+    def __len__(self) -> int:
+        return self._h.llc_spb
+
+    def __getitem__(self, set_idx: int) -> list[CacheBlock]:
+        h = self._h
+        if not (0 <= set_idx < h.llc_spb):
+            raise IndexError(set_idx)
+        base = (self._bank * h.llc_spb + set_idx) * h.llc_ways
+        return [_materialize_block(h, base + w) for w in range(h.llc_ways)]
+
+    def __iter__(self) -> Iterator[list[CacheBlock]]:
+        for set_idx in range(self._h.llc_spb):
+            yield self[set_idx]
+
+
+class FastBankView:
+    """One LLC bank: ``.blocks`` plus the policy's ``max_rrpv``."""
+
+    __slots__ = ("blocks", "policy")
+
+    def __init__(self, h, bank: int) -> None:
+        self.blocks = _LazySetBlocks(h, bank)
+        self.policy = _PolicyView()
+
+
+class FastLLCView:
+    """The audit/telemetry face of the packed LLC."""
+
+    def __init__(self, h) -> None:
+        self._h = h
+        self.geometry = h.config.llc
+        self.policy_name = h.policy_name
+        self.banks = [FastBankView(h, b) for b in range(h.llc_banks)]
+
+    def bank_of(self, addr: int) -> int:
+        return addr & self._h.llc_bank_mask
+
+    def set_of(self, addr: int) -> int:
+        h = self._h
+        return (addr >> h.llc_bank_bits) & h.llc_set_mask
+
+    def probe(self, addr: int) -> int:
+        """Way of a non-relocated home-set copy, -1 if absent (relocated
+        copies are invisible, as in the object LLC's probe)."""
+        h = self._h
+        pos = h.llc_map.get(addr, -1)
+        if pos >= 0 and not (h.llc_meta[pos] & 2):
+            return pos % h.llc_ways
+        return -1
+
+    def location(self, addr: int) -> tuple[int, int, int]:
+        h = self._h
+        bank = addr & h.llc_bank_mask
+        set_idx = (addr >> h.llc_bank_bits) & h.llc_set_mask
+        return bank, set_idx, self.probe(addr)
+
+    def block(self, bank: int, set_idx: int, way: int) -> CacheBlock:
+        h = self._h
+        return _materialize_block(
+            h, (bank * h.llc_spb + set_idx) * h.llc_ways + way
+        )
+
+    def resident_addrs(self) -> set[int]:
+        return set(self._h.llc_map)
+
+    def occupancy(self) -> int:
+        return len(self._h.llc_map)
+
+    @property
+    def blocks_total(self) -> int:
+        return self.geometry.blocks
+
+
+class FastDirectoryView:
+    """The audit/telemetry face of the flat sparse directory."""
+
+    def __init__(self, h) -> None:
+        self._h = h
+
+    def _entry_at(self, pos: int) -> DirectoryEntry:
+        h = self._h
+        e = DirectoryEntry()
+        e.addr = h.d_addr[pos]
+        e.valid = True
+        e.sharers = h.d_sharers[pos]
+        e.owner = h.d_owner[pos]
+        e.nru = h.d_nru[pos]
+        rp = h.d_reloc[pos]
+        if rp >= 0:
+            e.relocated = True
+            e.reloc_bank = rp // h.bank_size
+            e.reloc_set = (rp // h.llc_ways) % h.llc_spb
+            e.reloc_way = rp % h.llc_ways
+        return e
+
+    def peek(self, addr: int) -> Optional[DirectoryEntry]:
+        """Side-effect-free lookup (no NRU touch) for audits."""
+        pos = self._h.d_map.get(addr, -1)
+        return self._entry_at(pos) if pos >= 0 else None
+
+    def iter_valid(self) -> Iterator[DirectoryEntry]:
+        h = self._h
+        d_addr = h.d_addr
+        for pos in range(h.d_slice_size):
+            if d_addr[pos] >= 0:
+                yield self._entry_at(pos)
+        # ZeroDEV spill entries follow in insertion order, mirroring the
+        # object directory's spill-dict iteration.
+        for pos in h.d_spill_addrs.values():
+            yield self._entry_at(pos)
+
+    def occupancy(self) -> int:
+        return len(self._h.d_map)
+
+    def tracked_count(self) -> int:
+        return len(self._h.d_map)
+
+    @property
+    def spill_count(self) -> int:
+        return self._h.spill_count
+
+    @property
+    def mode(self) -> str:
+        return self._h.config.directory_mode
+
+
+class FastPrivateView:
+    """One core's private hierarchy as the audit protocol sees it."""
+
+    __slots__ = ("_h", "core")
+
+    def __init__(self, h, core: int) -> None:
+        self._h = h
+        self.core = core
+
+    def resident_addrs(self) -> set[int]:
+        h = self._h
+        return set(h._l1s[self.core].map) | set(h._l2s[self.core].map)
+
+    def in_l1(self, addr: int) -> bool:
+        return addr in self._h._l1s[self.core].map
+
+    def in_l2(self, addr: int) -> bool:
+        return addr in self._h._l2s[self.core].map
+
+    def has_block(self, addr: int) -> bool:
+        return self.in_l1(addr) or self.in_l2(addr)
+
+
+class _TrackerView:
+    """PropertyTracker facade: the audits and gauges only read
+    ``properties`` and ``pvs`` (the real PropertyVector objects)."""
+
+    __slots__ = ("properties", "pvs")
+
+    def __init__(self, properties: tuple, pvs: list) -> None:
+        self.properties = properties
+        self.pvs = pvs
+
+
+class FastSchemeView:
+    """InclusionScheme facade driving on_stats/audit/telemetry hooks."""
+
+    def __init__(self, h) -> None:
+        self._h = h
+        self.name = h.scheme_name
+        self.inclusive = h.inclusive
+        self.zero_inclusion_victims = h._ziv
+        self.needs_char = False
+        if h._ziv:
+            self.tracker = _TrackerView(h._ladder, h._pvs)
+            self.reloc = h._reloc
+        else:
+            self.tracker = None
+            self.reloc = None
+
+    def on_stats(self) -> dict:
+        h = self._h
+        if not h._ziv:
+            return {}
+        reloc = h._reloc
+        pv_flips = sum(
+            pv.flips for bank in h._pvs for pv in bank.values()
+        )
+        return {
+            "property_hits": dict(h.stats.property_hits),
+            "pv_flips": pv_flips,
+            "reloc_intervals": reloc.intervals_recorded,
+            "interval_histogram": dict(reloc.interval_log2_histogram),
+            "short_intervals": reloc.short_intervals,
+            "fifo_peak": reloc.fifo_peak,
+            "fifo_overflows": reloc.fifo_overflows,
+        }

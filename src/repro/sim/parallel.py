@@ -53,7 +53,10 @@ from repro.sim.trace import Workload
 #: unaudited runs never alias.
 #: "3": SimResult grew the ``telemetry`` field; pre-telemetry pickles
 #: would deserialise without the attribute.
-CACHE_VERSION = "3"
+#: "4": SystemConfig grew the ``engine`` field (object vs fast array
+#: engine); pre-field configs hash without it, so results from either
+#: engine must never alias entries keyed before the field existed.
+CACHE_VERSION = "4"
 
 _DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -115,6 +118,24 @@ class RunRecipe:
         from repro.hierarchy.cmp import CacheHierarchy
         from repro.schemes import make_scheme
 
+        if self.config.engine == "fast":
+            from repro.sim.fast import FastHierarchy
+
+            fast_hierarchy = FastHierarchy(
+                self.config,
+                self.scheme,
+                llc_policy=self.policy,
+                scheme_kwargs=dict(self.scheme_kwargs) or None,
+                policy_kwargs=dict(self.policy_kwargs) or None,
+            )
+            return Simulation(
+                fast_hierarchy,
+                self.workload,
+                scheduling=self.scheduling,
+                llc_policy_name=self.policy,
+                audit=self.config.audit,
+                telemetry=self.config.telemetry,
+            ).run()
         oracle = None
         if self.policy == "belady":
             oracle = _oracle_for(self.workload)

@@ -1,0 +1,211 @@
+"""Differential oracle tests: the fast engine must be bit-identical.
+
+Every cell of the supported scheme x policy grid runs through both the
+object engine and the array-state engine; any field of the result --
+per-core counters, aggregate statistics, cycle count, energy ledger,
+scheme extras, audit outcome, telemetry stream -- that differs is a
+failure.  A property-based layer then throws randomly generated traces
+(shared blocks, mixed read/write, irregular gaps) at the same assertion.
+
+The property layer uses Hypothesis when available and falls back to a
+seeded ``random.Random`` sweep otherwise, so the suite runs in minimal
+environments without any extra installs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.differential import (
+    GRID_POLICIES,
+    GRID_SCHEMES,
+    DiffReport,
+    Divergence,
+    diff_grid,
+    diff_recipe,
+    grid_recipes,
+    summarize,
+)
+from repro.sim.parallel import make_recipe
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # minimal environment: seeded-random fallback below
+    HAVE_HYPOTHESIS = False
+
+CORES = 4
+ACCESSES = 700
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    from repro.workloads import homogeneous_mix
+
+    return [
+        homogeneous_mix("bwaves.1", cores=CORES, n_accesses=ACCESSES),
+        homogeneous_mix("xalancbmk.2", cores=CORES, n_accesses=ACCESSES),
+    ]
+
+
+def _cell(wl, scheme, policy, directory_mode="mesi", **kw):
+    recipe = make_recipe(
+        wl,
+        scheme,
+        policy=policy,
+        l2="256KB",
+        cores=CORES,
+        directory_mode=directory_mode,
+        audit="end,collect",
+        **kw,
+    )
+    return diff_recipe(recipe, keep_results=True)
+
+
+# ---------------------------------------------------------------------------
+# the scheme x policy x workload grid
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", GRID_POLICIES)
+@pytest.mark.parametrize("scheme", GRID_SCHEMES)
+def test_grid_cell_identical(workloads, scheme, policy):
+    for wl in workloads:
+        report = _cell(wl, scheme, policy)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("scheme", ("inclusive", "ziv:notinprc"))
+def test_zerodev_directory_identical(workloads, scheme):
+    report = _cell(workloads[0], scheme, "lru", directory_mode="zerodev")
+    assert report.ok, report.summary()
+
+
+def test_audits_run_and_stay_clean(workloads):
+    """Both engines finish every grid cell in an invariant-clean state."""
+    report = _cell(workloads[0], "ziv:lrunotinprc", "srrip")
+    assert report.ok, report.summary()
+    for result in (report.object_result, report.fast_result):
+        assert result.audit is not None
+        assert result.audit.ok
+        assert result.audit.violations == []
+        assert result.audit.sweeps >= 1
+
+
+def test_telemetry_streams_identical(workloads):
+    report = _cell(
+        workloads[1], "ziv:notinprc", "nru", telemetry="200,events=all"
+    )
+    assert report.ok, report.summary()
+    fast = report.fast_result.telemetry
+    assert fast is not None
+    assert len(fast.series.samples) > 0
+    assert report.object_result.telemetry.events == fast.events
+
+
+# ---------------------------------------------------------------------------
+# harness plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_grid_recipes_cover_all_axes(workloads):
+    recipes = grid_recipes(workloads[:1])
+    assert len(recipes) == len(GRID_SCHEMES) * len(GRID_POLICIES) * 2
+    assert {r.scheme for r in recipes} == set(GRID_SCHEMES)
+    assert {r.policy for r in recipes} == set(GRID_POLICIES)
+    assert {r.config.directory_mode for r in recipes} == {"mesi", "zerodev"}
+    # audit baked into every cell's config (and therefore its cache key)
+    assert all(r.config.audit.enabled for r in recipes)
+
+
+def test_diff_grid_smoke(workloads):
+    reports = diff_grid(
+        workloads[:1],
+        schemes=("inclusive",),
+        policies=("lru", "srrip"),
+        directory_modes=("mesi",),
+        cores=CORES,
+    )
+    assert len(reports) == 2
+    assert all(r.ok for r in reports)
+    assert summarize(reports).endswith("0 diverging")
+
+
+def test_report_summary_lists_divergences():
+    report = DiffReport(
+        scheme="inclusive",
+        policy="lru",
+        workload="wl",
+        directory_mode="mesi",
+        divergences=[Divergence("stats.llc_hits", "1", "2")],
+    )
+    assert not report.ok
+    text = report.summary()
+    assert "1 divergence(s)" in text
+    assert "stats.llc_hits: object=1 fast=2" in text
+
+
+# ---------------------------------------------------------------------------
+# property-based layer: random traces
+# ---------------------------------------------------------------------------
+
+
+def random_workload(seed: int, cores: int = CORES, n: int = 350) -> Workload:
+    """A workload of shared-pool random traces.
+
+    All cores draw block addresses from one small pool so the runs
+    exercise cross-core sharing: directory forwards, eviction notices,
+    write-back merging and (for inclusive designs) back-invalidation."""
+    rng = random.Random(seed)
+    blocks = rng.choice((48, 96, 160))
+    traces = []
+    for core in range(cores):
+        recs = [
+            TraceRecord(
+                gap=rng.randrange(4),
+                addr=rng.randrange(blocks) * 64,
+                is_write=rng.random() < 0.3,
+                pc=rng.randrange(32) * 4,
+            )
+            for _ in range(n)
+        ]
+        traces.append(CoreTrace(recs, name=f"rand{core}"))
+    return Workload(traces, name=f"rand-s{seed}-b{blocks}")
+
+
+def _assert_random_cell(seed, scheme, policy, directory_mode):
+    report = _cell(
+        random_workload(seed), scheme, policy, directory_mode=directory_mode
+    )
+    assert report.ok, report.summary()
+    for result in (report.object_result, report.fast_result):
+        assert result.audit.violations == []
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        scheme=st.sampled_from(GRID_SCHEMES),
+        policy=st.sampled_from(GRID_POLICIES),
+        directory_mode=st.sampled_from(("mesi", "zerodev")),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_traces_identical(seed, scheme, policy, directory_mode):
+        _assert_random_cell(seed, scheme, policy, directory_mode)
+
+else:
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_traces_identical(seed):
+        rng = random.Random(seed * 7919 + 1)
+        _assert_random_cell(
+            seed,
+            rng.choice(GRID_SCHEMES),
+            rng.choice(GRID_POLICIES),
+            rng.choice(("mesi", "zerodev")),
+        )

@@ -26,6 +26,7 @@ DOC_FILES = (
     "README.md",
     "docs/API.md",
     "docs/OBSERVABILITY.md",
+    "docs/PERFORMANCE.md",
     "docs/STATIC_ANALYSIS.md",
 )
 

@@ -333,6 +333,59 @@ class TestCounterDiscipline:
 
 
 # ---------------------------------------------------------------------------
+# scope: the array-state fast engine
+# ---------------------------------------------------------------------------
+
+
+class TestFastEngineScope:
+    """``repro.sim.fast`` feeds cached results exactly like the object
+    engine, so every scoped rule must cover it: fixtures under
+    ``sim/fast/`` fire, and the shipped package itself lints clean."""
+
+    def test_fast_is_in_simulator_scope(self):
+        from repro.lint.rules.scope import SIMULATOR_SCOPE
+
+        assert "sim" in SIMULATOR_SCOPE
+        assert "fast" in SIMULATOR_SCOPE
+
+    def test_determinism_covers_fast_package(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/fast/engine.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.perf_counter()\n"
+            ),
+        })
+        assert rule_ids(findings) == ["determinism"]
+        assert "wall-clock" in findings[0].message
+
+    def test_counter_discipline_covers_fast_package(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "sim/stats.py": _STATS_FIXTURE,
+            "sim/fast/engine.py": (
+                "class FastHierarchy:\n"
+                "    def _flush(self):\n"
+                "        self.stats.llc_hitz += 1\n"
+            ),
+        })
+        assert rule_ids(findings) == ["counter-discipline"]
+        assert "'llc_hitz'" in findings[0].message
+
+    def test_shipped_fast_package_is_clean(self, monkeypatch):
+        """The fast engine and the differential harness ship without a
+        single finding (the full tree is linted so cross-file rules see
+        the schema registry and docs)."""
+        monkeypatch.chdir(REPO_ROOT)
+        findings = lint_paths(["src/repro", "docs"])
+        fast = [
+            f for f in findings
+            if "sim/fast" in f.file or f.file.endswith("differential.py")
+        ]
+        assert fast == []
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # telemetry guarding
 # ---------------------------------------------------------------------------
 
