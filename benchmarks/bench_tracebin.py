@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark: streamed binary traces vs in-memory workloads.
+
+Measures, on the same quick-scale mix and configuration:
+
+* ``inmem_access_rate_per_s``    -- the workload held in memory (the
+  fast engine's fused driver, the repo's best case)
+* ``streamed_access_rate_per_s`` -- the same workload streamed from a
+  ``tracebin`` file through :class:`~repro.sim.tracebin.BinWorkload`
+  (per-access driver + chunk decoding; memory bounded by chunk size)
+* ``streamed_overhead``          -- the ratio of the two
+* ``convert_records_per_s``      -- text -> binary conversion throughput
+* ``bytes_per_record``           -- on-disk density of the binary format
+
+The streamed path is expected to be slower -- it exists to make traces
+*larger than memory* simulable at all; this benchmark pins down the
+price so regressions are visible.  Run as a script to (re)generate
+``BENCH_pr7.json`` at the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_tracebin.py
+
+``--check`` additionally asserts that the streamed run's statistics are
+bit-identical to the in-memory run's (the acceptance criterion) and
+exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
+
+CHUNK_RECORDS = 65536
+
+
+def build_inputs(tmp: Path):
+    from repro.experiments.common import get_scale, mix_population
+    from repro.sim.tracebin import save_workload_bin
+    from repro.sim.tracefile import save_workload
+
+    wl = mix_population(get_scale("quick"))[0]
+    text = tmp / "bench.trace.gz"
+    binary = tmp / "bench.tracebin"
+    save_workload(wl, text)
+    save_workload_bin(wl, binary, chunk_records=CHUNK_RECORDS)
+    return wl, text, binary
+
+
+def run_once(config, workload):
+    from repro.sim.engine import Simulation
+    from repro.sim.fast import FastHierarchy
+
+    hierarchy = FastHierarchy(config, "inclusive", llc_policy="lru")
+    sim = Simulation(hierarchy, workload)
+    t0 = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - t0
+    return result, result.stats.total_accesses / elapsed
+
+
+def main(argv=None) -> int:
+    from repro.params import scaled_config
+    from repro.sim.tracebin import TraceBinReader, convert_text_trace
+    from repro.sim.tracebin import open_trace
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless streamed stats are bit-identical "
+                             "to in-memory stats")
+    args = parser.parse_args(argv)
+
+    config = scaled_config("256KB")
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        wl, text, binary = build_inputs(tmp)
+
+        t0 = time.perf_counter()
+        info = convert_text_trace(text, tmp / "bench2.tracebin",
+                                  chunk_records=CHUNK_RECORDS)
+        convert_rate = info["records"] / (time.perf_counter() - t0)
+
+        inmem_rates, streamed_rates = [], []
+        base_result = streamed_result = None
+        for _ in range(args.repeats):
+            base_result, rate = run_once(config, wl)
+            inmem_rates.append(rate)
+            with open_trace(binary) as bw:
+                streamed_result, rate = run_once(config, bw)
+            streamed_rates.append(rate)
+
+        with TraceBinReader(binary) as reader:
+            bytes_per_record = reader.info()["bytes_per_record"]
+
+        identical = dataclasses.asdict(
+            base_result.stats
+        ) == dataclasses.asdict(streamed_result.stats)
+
+    inmem = max(inmem_rates)
+    streamed = max(streamed_rates)
+    report = {
+        "bench": "tracebin",
+        "scale": "quick",
+        "methodology": (
+            "fresh FastHierarchy per run, construction included, "
+            "quick-scale mix, inclusive/lru; best of "
+            f"{args.repeats} runs per mode; streamed = tracebin chunk "
+            f"size {CHUNK_RECORDS} via BinWorkload (per-access driver), "
+            "in-memory = fused fast-engine driver"
+        ),
+        "accesses_per_measurement": base_result.stats.total_accesses,
+        "repeats": args.repeats,
+        "inmem_access_rate_per_s": round(inmem),
+        "streamed_access_rate_per_s": round(streamed),
+        "streamed_overhead": round(inmem / streamed, 2),
+        "convert_records_per_s": round(convert_rate),
+        "chunk_records": CHUNK_RECORDS,
+        "bytes_per_record": round(bytes_per_record, 2),
+        "streamed_stats_identical": identical,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {OUT_PATH}")
+    if args.check and not identical:
+        print("FAIL: streamed stats differ from in-memory stats",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Commands
 ``config``               print the scaled and paper-scale configurations
 ``cache``                inspect or clear the persistent result cache
 ``lint``                 static-analysis pass enforcing simulator invariants
+``trace``                convert/inspect/verify binary trace files
 """
 
 from __future__ import annotations
@@ -51,6 +52,7 @@ def _cmd_figure(args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.params import scaled_config
+    from repro.sim.checkpoint import SimulationInterrupted
     from repro.sim.engine import run_workload
     from repro.workloads import homogeneous_mix, multithreaded_workload
 
@@ -62,7 +64,14 @@ def _cmd_run(args) -> int:
         config = scaled_config(args.l2)
     if args.engine != config.engine:
         config = config.replace(engine=args.engine)
-    if args.workload.startswith("mt:"):
+    if args.trace:
+        from repro.sim.tracebin import open_trace
+
+        wl = open_trace(args.trace)
+        if wl.cores != config.cores:
+            # A trace file fixes the core count; follow it.
+            config = config.replace(cores=wl.cores)
+    elif args.workload.startswith("mt:"):
         wl = multithreaded_workload(
             args.workload[3:], cores=config.cores, n_accesses=args.accesses
         )
@@ -72,10 +81,43 @@ def _cmd_run(args) -> int:
         )
     from repro.sim.report import describe_result
 
-    result = run_workload(
-        config, wl, args.scheme, llc_policy=args.policy, audit=args.audit,
-        telemetry=args.telemetry,
-    )
+    progress = None
+    if args.progress:
+        def progress(p):
+            sys.stderr.write(
+                f"\rchunk {p.chunk}/{p.chunks} | "
+                f"{p.accesses_done}/{p.total_accesses} accesses "
+                f"({100.0 * p.fraction:3.0f}%)"
+                + (" | checkpointed" if p.checkpointed else "")
+            )
+            sys.stderr.flush()
+    resume_from = None
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        resume_from = args.checkpoint
+    try:
+        result = run_workload(
+            config, wl, args.scheme, llc_policy=args.policy,
+            audit=args.audit, telemetry=args.telemetry,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=resume_from,
+            stop_after=args.stop_after,
+            progress=progress,
+        )
+    except SimulationInterrupted as interrupted:
+        if args.progress:
+            sys.stderr.write("\n")
+        print(
+            f"checkpointed at access {interrupted.accesses_done}/"
+            f"{interrupted.total_accesses} -> "
+            f"{interrupted.checkpoint_path}; resume with --resume"
+        )
+        return 3
+    if args.progress:
+        sys.stderr.write("\n")
     print(describe_result(result))
     if result.telemetry is not None and args.events_out:
         from repro.sim.telemetry import write_events_jsonl
@@ -172,6 +214,57 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_trace(args) -> int:
+    from repro.sim.tracebin import (
+        TraceBinReader,
+        convert_din_trace,
+        convert_text_trace,
+    )
+    from repro.sim.tracefile import TraceFormatError
+
+    try:
+        if args.action == "convert":
+            fmt = args.format
+            if fmt == "auto":
+                src = args.src
+                fmt = "din" if src.endswith((".din", ".din.gz")) else "text"
+            if fmt == "din":
+                info = convert_din_trace(
+                    args.src, args.dst,
+                    block_bits=args.block_bits,
+                    chunk_records=args.chunk_records,
+                )
+            else:
+                info = convert_text_trace(
+                    args.src, args.dst, chunk_records=args.chunk_records
+                )
+            print(
+                f"wrote {info['path']}: {info['records']} record(s), "
+                f"{info['cores']} core(s), {info['chunks']} chunk(s), "
+                f"{info['bytes']} bytes"
+            )
+            print(f"fingerprint: {info['fingerprint']}")
+        elif args.action == "info":
+            with TraceBinReader(args.src) as reader:
+                info = reader.info()
+            for key in ("path", "name", "cores", "records",
+                        "chunk_records", "chunks", "bytes", "fingerprint"):
+                print(f"{key}: {info[key]}")
+            print("core_names: " + " ".join(info["core_names"]))
+        else:  # verify
+            with TraceBinReader(args.src) as reader:
+                summary = reader.verify()
+            print(
+                f"{args.src}: OK -- {summary['records']} record(s) in "
+                f"{summary['chunks']} chunk(s), fingerprint "
+                f"{summary['fingerprint']}"
+            )
+    except TraceFormatError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +317,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "default spec (see repro.sim.telemetry)")
     p.add_argument("--events-out", default=None, metavar="FILE.jsonl",
                    help="write traced telemetry events as JSONL")
+    p.add_argument("--trace", default=None, metavar="FILE.tracebin",
+                   help="stream a binary trace file (see 'repro trace') "
+                        "instead of synthesizing --workload; the core "
+                        "count follows the trace")
+    p.add_argument("--checkpoint", default=None, metavar="FILE.ckpt",
+                   help="save resumable simulation state here at every "
+                        "chunk boundary")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="checkpoint cadence in accesses (default: the "
+                        "trace's chunk size, else 65536)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the --checkpoint file instead of "
+                        "starting fresh")
+    p.add_argument("--stop-after", type=int, default=None, metavar="N",
+                   help="checkpoint and exit (status 3) at the first "
+                        "boundary at or beyond N total accesses")
+    p.add_argument("--progress", action="store_true",
+                   help="print chunk-position heartbeats to stderr")
 
     p = sub.add_parser(
         "telemetry",
@@ -268,6 +380,26 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_arguments as _add_lint_arguments
 
     _add_lint_arguments(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="convert external traces to the chunked binary format, "
+             "inspect headers, verify content integrity",
+    )
+    p.add_argument("action", choices=("convert", "info", "verify"))
+    p.add_argument("src", help="source trace file")
+    p.add_argument("dst", nargs="?", default=None,
+                   help="output .tracebin path (convert only)")
+    p.add_argument("--format", default="auto",
+                   choices=("auto", "text", "din"),
+                   help="source format for convert: the repo's gzip text "
+                        "format or a SimpleScalar/Dinero-style address "
+                        "trace (auto: by file suffix)")
+    p.add_argument("--block-bits", type=int, default=6,
+                   help="din import: right-shift byte addresses by this "
+                        "many bits to block addresses (default 6 = 64B)")
+    p.add_argument("--chunk-records", type=int, default=65536,
+                   help="records per chunk in the output (default 65536)")
     return parser
 
 
@@ -282,7 +414,11 @@ def main(argv=None) -> int:
         "config": _cmd_config,
         "cache": _cmd_cache,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }[args.command]
+    if args.command == "trace" and args.action == "convert" and not args.dst:
+        print("trace convert needs a destination path", file=sys.stderr)
+        return 2
     return handler(args)
 
 

@@ -104,3 +104,37 @@ def load_config(path: str | Path) -> SystemConfig:
     except json.JSONDecodeError as exc:
         raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
     return config_from_dict(data)
+
+
+def trace_ref_to_dict(ref: Any) -> dict[str, Any]:
+    """Plain-dict form of a :class:`~repro.sim.tracebin.TraceRef`, so
+    recipe submissions can name on-disk traces in JSON (path + content
+    fingerprint + workload name) instead of shipping records."""
+    return {
+        "path": ref.path,
+        "fingerprint": ref.fingerprint(),
+        "name": ref.name,
+    }
+
+
+def trace_ref_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.sim.tracebin.TraceRef` from its dict
+    form.  ``path`` and ``fingerprint`` are required; resolution (and
+    fingerprint verification) happens later, at execution time."""
+    from repro.sim.tracebin import TraceRef
+
+    if not isinstance(data, dict):
+        raise ConfigError("trace reference must be a JSON object")
+    unknown = set(data) - {"path", "fingerprint", "name"}
+    if unknown:
+        raise ConfigError(
+            f"unknown trace-reference keys: {sorted(unknown)}"
+        )
+    missing = {"path", "fingerprint"} - set(data)
+    if missing:
+        raise ConfigError(
+            f"trace reference needs keys: {sorted(missing)}"
+        )
+    return TraceRef(
+        data["path"], data["fingerprint"], name=data.get("name", "")
+    )

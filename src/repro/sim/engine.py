@@ -25,8 +25,16 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.audit import AuditReport, InvariantAuditor, resolve_audit
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    SimCheckpoint,
+    SimulationInterrupted,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.stats import SimStats
 from repro.sim.telemetry import (
+    StreamProgress,
     TelemetryCollector,
     TelemetryResult,
     resolve_telemetry,
@@ -34,7 +42,7 @@ from repro.sim.telemetry import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.energy.model import EnergyModel
-from repro.sim.trace import Workload, interleave_records
+from repro.sim.trace import Workload
 
 
 @dataclass
@@ -97,42 +105,121 @@ class Simulation:
             telemetry, hierarchy.config.telemetry
         )
 
-    def run(self) -> SimResult:
-        auditor = (
-            InvariantAuditor(self.hierarchy, self.audit_params)
-            if self.audit_params.enabled
-            else None
-        )
+    def run(
+        self,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: Optional[int] = None,
+        resume_from=None,
+        stop_after: Optional[int] = None,
+        progress=None,
+    ) -> SimResult:
+        """Run the workload to completion (or to a checkpoint).
+
+        Streaming/checkpointing keywords (all optional; the plain
+        ``run()`` call is unchanged):
+
+        * ``checkpoint_path`` -- save a :class:`SimCheckpoint` here at
+          every boundary (atomically; the previous one is replaced).
+        * ``checkpoint_every`` -- boundary cadence in accesses.  Defaults
+          to the workload's ``chunk_records`` (binary traces) or 65536.
+        * ``resume_from`` -- a checkpoint path or :class:`SimCheckpoint`
+          to continue from; the workload fingerprint and scheduling mode
+          must match.  The resumed run is bit-identical to an
+          uninterrupted one.
+        * ``stop_after`` -- interrupt at the first boundary at or beyond
+          this many total accesses: state is saved to ``checkpoint_path``
+          (required) and :class:`SimulationInterrupted` is raised.  Used
+          to shard a long trace across sessions/workers.
+        * ``progress`` -- callable receiving a
+          :class:`~repro.sim.telemetry.StreamProgress` at every boundary.
+        """
+        if stop_after is not None and checkpoint_path is None:
+            raise ValueError("stop_after requires checkpoint_path")
+        if checkpoint_every is None:
+            checkpoint_every = (
+                getattr(self.workload, "chunk_records", 0) or 65536
+            )
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        state = None
+        if resume_from is not None:
+            ck = (
+                resume_from
+                if isinstance(resume_from, SimCheckpoint)
+                else load_checkpoint(resume_from)
+            )
+            ck.validate(self.workload.fingerprint(), self.scheduling)
+            # The checkpoint's hierarchy/auditor/collector were pickled
+            # together, so the collector still observes *this* hierarchy.
+            self.hierarchy = ck.hierarchy
+            auditor = ck.auditor
+            collector = ck.collector
+            state = ck.scheduler_state
+        else:
+            auditor = (
+                InvariantAuditor(self.hierarchy, self.audit_params)
+                if self.audit_params.enabled
+                else None
+            )
+            collector = (
+                TelemetryCollector(self.hierarchy, self.telemetry_params)
+                if self.telemetry_params.enabled
+                else None
+            )
         audit_hook = (
             auditor.maybe_check
-            if auditor is not None and self.audit_params.interval > 0
-            else None
-        )
-        collector = (
-            TelemetryCollector(self.hierarchy, self.telemetry_params)
-            if self.telemetry_params.enabled
+            if auditor is not None and auditor.params.interval > 0
             else None
         )
         telemetry_hook = None
         if collector is not None:
             collector.bind()
             telemetry_hook = collector.on_access
+        boundary = None
+        if (
+            checkpoint_path is not None
+            or stop_after is not None
+            or progress is not None
+        ):
+            boundary = _BoundaryController(
+                self,
+                auditor,
+                collector,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                stop_after=stop_after,
+                progress=progress,
+            )
         # The fast engine ships a fused batch driver (loop + access in one
         # frame, counters batched in locals).  It is only valid when no
-        # per-access hook observes intermediate counter state, so it runs
-        # exactly when both hooks are absent; results are bit-identical.
+        # per-access hook observes intermediate counter state and the
+        # whole trace is materialisable (it decodes per-trace columns),
+        # so it runs exactly when both hooks are absent, no boundary work
+        # is requested, and the workload does not opt out via
+        # ``supports_fused`` (streamed BinWorkloads do); results are
+        # bit-identical either way.
         fused = getattr(self.hierarchy, "run_trace", None)
         if (
             fused is not None
             and self.scheduling == "timing"
             and audit_hook is None
             and telemetry_hook is None
+            and boundary is None
+            and state is None
+            and getattr(self.workload, "supports_fused", True)
         ):
             cycles = fused(self.workload)
         elif self.scheduling == "timing":
-            cycles = self._run_timing(audit_hook, telemetry_hook)
+            cycles = self._run_timing(
+                audit_hook, telemetry_hook, state, boundary, checkpoint_every
+            )
         else:
-            cycles = self._run_lockstep(audit_hook, telemetry_hook)
+            cycles = self._run_lockstep(
+                audit_hook, telemetry_hook, state, boundary, checkpoint_every
+            )
         self.hierarchy.finalize_stats()
         report = auditor.finalize() if auditor is not None else None
         telemetry_result = (
@@ -154,7 +241,14 @@ class Simulation:
 
     # -- timing mode ------------------------------------------------------------
 
-    def _run_timing(self, audit_hook=None, telemetry_hook=None) -> int:
+    def _run_timing(
+        self,
+        audit_hook=None,
+        telemetry_hook=None,
+        state=None,
+        boundary=None,
+        boundary_every: int = 65536,
+    ) -> int:
         h = self.hierarchy
         base_cpi = h.config.core.base_cpi
         # Hot loop: every per-access attribute lookup is hoisted into a
@@ -165,13 +259,25 @@ class Simulation:
         heappop = heapq.heappop
         traces = [t.records for t in self.workload]
         trace_ends = [len(t) for t in traces]
-        # (ready_cycle, core, next_index) min-heap.  Cores with an empty
-        # trace never issue: they finish instantly with cycles=0 and must
-        # not seed the heap (traces[core][0] would raise).
-        heap = [(0, core, 0) for core, end in enumerate(trace_ends) if end]
+        if state is None:
+            # (ready_cycle, core, next_index) min-heap.  Cores with an
+            # empty trace never issue: they finish instantly with
+            # cycles=0 and must not seed the heap (traces[core][0] would
+            # raise).
+            heap = [
+                (0, core, 0) for core, end in enumerate(trace_ends) if end
+            ]
+            finish = [0] * self.workload.cores
+            global_pos = 0
+        else:
+            # Entries are unique per core, so every pop has a unique
+            # minimum: re-heapifying the saved entries replays exactly
+            # the uninterrupted pop order.
+            heap = [tuple(e) for e in state["heap"]]
+            finish = list(state["finish"])
+            global_pos = state["global_pos"]
         heapq.heapify(heap)
-        finish = [0] * self.workload.cores
-        global_pos = 0
+        countdown = boundary_every
         while heap:
             ready, core, idx = heappop(heap)
             rec = traces[core][idx]
@@ -199,38 +305,143 @@ class Simulation:
             else:
                 finish[core] = done
                 cs.cycles = done
+            if boundary is not None:
+                countdown -= 1
+                if countdown == 0 and heap:
+                    countdown = boundary_every
+                    boundary(global_pos, {
+                        "heap": list(heap),
+                        "finish": list(finish),
+                        "global_pos": global_pos,
+                    })
         return max(finish) if finish else 0
 
     # -- lockstep mode -------------------------------------------------------------
 
-    def _run_lockstep(self, audit_hook=None, telemetry_hook=None) -> int:
+    def _run_lockstep(
+        self,
+        audit_hook=None,
+        telemetry_hook=None,
+        state=None,
+        boundary=None,
+        boundary_every: int = 65536,
+    ) -> int:
         h = self.hierarchy
         access = h.access
         core_stats = h.stats.cores
-        pos = 0
-        for core, rec in interleave_records(self.workload):
-            if telemetry_hook is not None:
-                telemetry_hook(pos)
-            access(
-                core,
-                rec.addr,
-                rec.is_write,
-                rec.pc,
-                cycle=pos,
-                global_pos=pos,
-            )
-            if audit_hook is not None:
-                audit_hook(pos)
-            core_stats[core].instructions += rec.gap + 1
-            pos += 1
+        # Indexed replay of the canonical lock-step order (round-robin by
+        # access index -- see trace.interleave_records): the explicit
+        # (row, core) cursor is what checkpoints capture.
+        streams = [t.records for t in self.workload]
+        lens = [len(s) for s in streams]
+        cores = len(streams)
+        longest = max(lens)
+        if state is None:
+            row, core, pos = 0, 0, 0
+        else:
+            row, core, pos = state["row"], state["core"], state["pos"]
+        countdown = boundary_every
+        while row < longest:
+            while core < cores:
+                if row < lens[core]:
+                    rec = streams[core][row]
+                    if telemetry_hook is not None:
+                        telemetry_hook(pos)
+                    access(
+                        core,
+                        rec.addr,
+                        rec.is_write,
+                        rec.pc,
+                        cycle=pos,
+                        global_pos=pos,
+                    )
+                    if audit_hook is not None:
+                        audit_hook(pos)
+                    core_stats[core].instructions += rec.gap + 1
+                    pos += 1
+                    if boundary is not None:
+                        countdown -= 1
+                        if countdown == 0:
+                            countdown = boundary_every
+                            boundary(pos, {
+                                "row": row,
+                                "core": core + 1,
+                                "pos": pos,
+                            })
+                core += 1
+            core = 0
+            row += 1
         for cs in core_stats:
             cs.cycles = pos  # lockstep mode carries no timing meaning
         return pos
 
 
+class _BoundaryController:
+    """Boundary work for one run: checkpoint saves, heartbeats, stop.
+
+    Called by the engine loops every ``checkpoint_every`` accesses with
+    the accesses-done count and a picklable scheduler-state dict.  Order
+    matters: the checkpoint is saved *before* a ``stop_after`` interrupt
+    is raised, so the caller can always resume from the path it passed.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        auditor,
+        collector,
+        *,
+        checkpoint_path,
+        checkpoint_every: int,
+        stop_after: Optional[int],
+        progress,
+    ) -> None:
+        self.sim = sim
+        self.auditor = auditor
+        self.collector = collector
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.stop_after = stop_after
+        self.progress = progress
+        self.total = sim.workload.total_accesses()
+        self._fingerprint = sim.workload.fingerprint()
+
+    def __call__(self, accesses_done: int, scheduler_state: dict) -> None:
+        saved = False
+        if self.checkpoint_path is not None:
+            save_checkpoint(self.checkpoint_path, SimCheckpoint(
+                version=CHECKPOINT_VERSION,
+                workload_fingerprint=self._fingerprint,
+                scheduling=self.sim.scheduling,
+                accesses_done=accesses_done,
+                scheduler_state=scheduler_state,
+                hierarchy=self.sim.hierarchy,
+                auditor=self.auditor,
+                collector=self.collector,
+            ))
+            saved = True
+        if self.progress is not None:
+            every = self.checkpoint_every
+            self.progress(StreamProgress(
+                accesses_done=accesses_done,
+                total_accesses=self.total,
+                chunk=accesses_done // every,
+                chunks=(self.total + every - 1) // every,
+                checkpointed=saved,
+            ))
+        if (
+            self.stop_after is not None
+            and accesses_done >= self.stop_after
+            and accesses_done < self.total
+        ):
+            raise SimulationInterrupted(
+                self.checkpoint_path, accesses_done, self.total
+            )
+
+
 def run_workload(
     config,
-    workload: Workload,
+    workload,
     scheme_name: str,
     llc_policy: str = "lru",
     scheduling: str = "timing",
@@ -238,6 +449,11 @@ def run_workload(
     policy_kwargs: Optional[dict] = None,
     audit=None,
     telemetry=None,
+    checkpoint_path=None,
+    checkpoint_every: Optional[int] = None,
+    resume_from=None,
+    stop_after: Optional[int] = None,
+    progress=None,
 ) -> SimResult:
     """Convenience one-call runner: build hierarchy + scheme, simulate.
 
@@ -253,9 +469,19 @@ def run_workload(
     ``"fast"`` builds the array-state
     :class:`~repro.sim.fast.FastHierarchy`, which produces identical
     statistics (the differential harness enforces this) but does not
-    support replacement oracles."""
+    support replacement oracles.
+
+    ``workload`` may also be a :class:`~repro.sim.tracebin.TraceRef`
+    (resolved -- and fingerprint-verified -- to a streaming
+    :class:`~repro.sim.tracebin.BinWorkload` here), and the
+    checkpoint/streaming keywords (``checkpoint_path``,
+    ``checkpoint_every``, ``resume_from``, ``stop_after``, ``progress``)
+    pass straight through to :meth:`Simulation.run`."""
     from repro.hierarchy.cmp import CacheHierarchy
     from repro.schemes import make_scheme
+    from repro.sim.tracebin import resolve_workload
+
+    workload = resolve_workload(workload)
 
     if getattr(config, "engine", "object") == "fast":
         from repro.sim.fast import FastHierarchy
@@ -288,4 +514,10 @@ def run_workload(
         audit=audit,
         telemetry=telemetry,
     )
-    return sim.run()
+    return sim.run(
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
+        stop_after=stop_after,
+        progress=progress,
+    )

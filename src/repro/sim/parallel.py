@@ -56,7 +56,12 @@ from repro.sim.trace import Workload
 #: "4": SystemConfig grew the ``engine`` field (object vs fast array
 #: engine); pre-field configs hash without it, so results from either
 #: engine must never alias entries keyed before the field existed.
-CACHE_VERSION = "4"
+#: "5": recipes may carry a TraceRef (path + content fingerprint) in
+#: place of an in-memory workload.  The fingerprint preimage is shared
+#: (binary headers replicate Workload.fingerprint exactly), which is
+#: only sound now that streamed and in-memory runs are enforced
+#: bit-identical -- entries keyed before that guarantee must not alias.
+CACHE_VERSION = "5"
 
 _DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -76,6 +81,12 @@ class RunRecipe:
     scheduling mode, and the workload itself.  ``policy="belady"`` recipes
     must use ``scheduling="lockstep"``; the worker rebuilds the next-use
     oracle from the workload's canonical lock-step stream.
+
+    ``workload`` may instead be a :class:`~repro.sim.tracebin.TraceRef`:
+    the recipe then pickles as a path + content fingerprint (no records
+    shipped to workers), the fingerprint joins the cache key exactly as
+    an in-memory workload's would, and :meth:`execute` opens -- and
+    fingerprint-verifies -- the trace in the executing process.
     """
 
     workload: Workload
@@ -117,50 +128,56 @@ class RunRecipe:
         """Run the simulation this recipe describes (no caching)."""
         from repro.hierarchy.cmp import CacheHierarchy
         from repro.schemes import make_scheme
+        from repro.sim.tracebin import resolve_workload
 
-        if self.config.engine == "fast":
-            from repro.sim.fast import FastHierarchy
+        workload = resolve_workload(self.workload)
+        try:
+            if self.config.engine == "fast":
+                from repro.sim.fast import FastHierarchy
 
-            fast_hierarchy = FastHierarchy(
+                fast_hierarchy = FastHierarchy(
+                    self.config,
+                    self.scheme,
+                    llc_policy=self.policy,
+                    scheme_kwargs=dict(self.scheme_kwargs) or None,
+                    policy_kwargs=dict(self.policy_kwargs) or None,
+                )
+                return Simulation(
+                    fast_hierarchy,
+                    workload,
+                    scheduling=self.scheduling,
+                    llc_policy_name=self.policy,
+                    audit=self.config.audit,
+                    telemetry=self.config.telemetry,
+                ).run()
+            oracle = None
+            if self.policy == "belady":
+                oracle = _oracle_for(workload)
+            scheme = make_scheme(self.scheme, **dict(self.scheme_kwargs))
+            hierarchy = CacheHierarchy(
                 self.config,
-                self.scheme,
+                scheme,
                 llc_policy=self.policy,
-                scheme_kwargs=dict(self.scheme_kwargs) or None,
+                oracle=oracle,
                 policy_kwargs=dict(self.policy_kwargs) or None,
             )
-            return Simulation(
-                fast_hierarchy,
-                self.workload,
+            sim = Simulation(
+                hierarchy,
+                workload,
                 scheduling=self.scheduling,
                 llc_policy_name=self.policy,
+                # Audit/telemetry settings come from the config (and
+                # therefore from the cache key) alone: the REPRO_AUDIT/
+                # REPRO_TELEMETRY environment variables must never be
+                # consulted inside a worker, or an instrumented result
+                # could be stored under an uninstrumented key.
                 audit=self.config.audit,
                 telemetry=self.config.telemetry,
-            ).run()
-        oracle = None
-        if self.policy == "belady":
-            oracle = _oracle_for(self.workload)
-        scheme = make_scheme(self.scheme, **dict(self.scheme_kwargs))
-        hierarchy = CacheHierarchy(
-            self.config,
-            scheme,
-            llc_policy=self.policy,
-            oracle=oracle,
-            policy_kwargs=dict(self.policy_kwargs) or None,
-        )
-        sim = Simulation(
-            hierarchy,
-            self.workload,
-            scheduling=self.scheduling,
-            llc_policy_name=self.policy,
-            # Audit/telemetry settings come from the config (and therefore
-            # from the cache key) alone: the REPRO_AUDIT/REPRO_TELEMETRY
-            # environment variables must never be consulted inside a
-            # worker, or an instrumented result could be stored under an
-            # uninstrumented key.
-            audit=self.config.audit,
-            telemetry=self.config.telemetry,
-        )
-        return sim.run()
+            )
+            return sim.run()
+        finally:
+            if workload is not self.workload:
+                workload.close()
 
 
 def make_recipe(

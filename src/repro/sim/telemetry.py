@@ -519,6 +519,30 @@ class TelemetryCollector:
 
 
 @dataclass(frozen=True)
+class StreamProgress:
+    """One chunk-boundary heartbeat from a streamed/checkpointed run.
+
+    Emitted by :meth:`repro.sim.engine.Simulation.run` through its
+    ``progress`` callback every ``checkpoint_every`` accesses.  ``chunk``
+    is the boundary index just completed (``accesses_done //
+    checkpoint_every``); ``checkpointed`` says whether state was saved
+    at this boundary."""
+
+    accesses_done: int
+    total_accesses: int
+    chunk: int
+    chunks: int
+    checkpointed: bool
+
+    @property
+    def fraction(self) -> float:
+        return (
+            self.accesses_done / self.total_accesses
+            if self.total_accesses else 1.0
+        )
+
+
+@dataclass(frozen=True)
 class RunProgress:
     """One heartbeat from :func:`repro.sim.parallel.run_many`.
 

@@ -1,0 +1,854 @@
+"""The chunked **binary** trace format: out-of-core workloads.
+
+The gzip text format (:mod:`repro.sim.tracefile`) must be materialised
+whole, so memory bounds trace length.  This module defines ``tracebin``,
+a compact on-disk format built for the paper's multi-billion-access
+TPC-E/SPEC segments:
+
+* **Fixed-width little-endian records** (24 bytes: gap ``u32``, block
+  address ``u64``, PC ``u64``, flags ``u8`` with bit 0 = write), grouped
+  *per core* so no record needs a core id.
+* **Chunked layout with a seekable index** -- each core's stream is
+  split into chunks of ``chunk_records`` records; a per-chunk index
+  entry (file offset, record count, CRC-32 of the raw bytes) lets
+  readers seek to any chunk and detect bit-level corruption locally.
+* **Memory-mapped access** -- :class:`TraceBinReader` maps the file and
+  decodes one chunk at a time; :class:`BinWorkload` wraps it in the
+  :class:`~repro.sim.trace.Workload` interface with a small decoded-chunk
+  cache, so peak resident memory is bounded by the chunk size, not the
+  trace length.
+* **Streaming content fingerprint** -- the header stores the workload's
+  SHA-256 fingerprint computed with *exactly* the same preimage as
+  :meth:`Workload.fingerprint`, so a streamed binary trace and the same
+  workload held in memory hash identically and share recipe-cache
+  entries (:mod:`repro.sim.parallel`).
+
+Importers convert the existing gzip text format
+(:func:`convert_text_trace`) and a SimpleScalar/Dinero-style external
+format (:func:`convert_din_trace`) without materialising the source:
+records spool through per-core temporary files, so conversion is
+out-of-core too.  :class:`TraceRef` is the picklable path+fingerprint
+reference a :class:`~repro.sim.parallel.RunRecipe` carries instead of
+the records themselves.
+
+File layout (all little-endian)::
+
+    header   (128 B)   magic 'ZIVT', version, cores, chunk_records,
+                       total_records, index/meta offsets, fingerprint
+    body               chunks of packed records, core 0 first
+    meta     (JSON)    workload name, per-core names/counts/fingerprints
+    index    (16 B/ch) offset u64, record count u32, crc32 u32
+
+The header is patched last, so a crashed writer leaves a file whose
+magic never validates -- readers fail loudly, not with silent
+truncation.  See ``docs/TRACES.md`` for the full walk-through.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import os
+import struct
+import tempfile
+import zlib
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+from repro.sim.tracefile import (
+    TraceFormatError,
+    default_workload_name,
+    scan_workload,
+)
+
+MAGIC = b"ZIVT"
+FORMAT_VERSION = 1
+
+#: Default records per chunk (24 B/record -> 1.5 MiB chunks).
+DEFAULT_CHUNK_RECORDS = 65536
+
+_HEADER = struct.Struct("<4sHHIIIQQQQ64s12x")  # 128 bytes
+assert _HEADER.size == 128
+_RECORD = struct.Struct("<IQQB3x")  # gap, addr, pc, flags -> 24 bytes
+RECORD_BYTES = _RECORD.size
+_INDEX_ENTRY = struct.Struct("<QII")  # offset, count, crc32
+
+_U32_MAX = (1 << 32) - 1
+_U64_MAX = (1 << 64) - 1
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting (mirrors trace.CoreTrace/Workload exactly)
+# ---------------------------------------------------------------------------
+
+
+class _CoreHasher:
+    """Streaming replica of :meth:`CoreTrace.fingerprint`."""
+
+    __slots__ = ("_h",)
+
+    def __init__(self, name: str) -> None:
+        self._h = sha256()
+        self._h.update(name.encode())
+
+    def update(self, gap: int, addr: int, is_write: int, pc: int) -> None:
+        self._h.update(b"%d,%d,%d,%d;" % (gap, addr, is_write, pc))
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+def _workload_fingerprint(name: str, core_digests: Iterable[str]) -> str:
+    """Streaming replica of :meth:`Workload.fingerprint`."""
+    h = sha256()
+    h.update(name.encode())
+    for digest in core_digests:
+        h.update(digest.encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+class TraceBinWriter:
+    """Streaming writer: cores in order, records per core in order.
+
+    Call :meth:`write_core` once per core (dense core ids are implied by
+    call order) with any iterable of records -- a list, a
+    :class:`CoreTrace`, or a lazy generator draining a multi-gigabyte
+    source.  Nothing beyond one chunk buffer is held in memory.  The
+    file appears at ``path`` atomically on :meth:`close` (temp file +
+    rename); an abandoned writer leaves no partial file behind.
+    """
+
+    def __init__(
+        self,
+        path,
+        name: str = "mix",
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> None:
+        if chunk_records <= 0:
+            raise TraceFormatError(
+                f"chunk_records must be positive, got {chunk_records}"
+            )
+        self.path = Path(path)
+        self.name = name
+        self.chunk_records = chunk_records
+        self.core_names: list[str] = []
+        self.core_counts: list[int] = []
+        self.core_digests: list[str] = []
+        self._index: list[tuple[int, int, int]] = []  # offset, count, crc
+        self._buf = bytearray()
+        self._buf_count = 0
+        self._closed = False
+        directory = self.path.resolve().parent
+        fd, self._tmp = tempfile.mkstemp(
+            dir=directory, suffix=".tracebin.tmp"
+        )
+        self._f = os.fdopen(fd, "wb")
+        self._f.write(b"\0" * _HEADER.size)
+        self._offset = _HEADER.size
+
+    # -- streaming ---------------------------------------------------------
+
+    def write_core(self, records: Iterable, name: Optional[str] = None) -> int:
+        """Append one core's record stream; returns its record count."""
+        if self._closed:
+            raise TraceFormatError("writer is closed")
+        core = len(self.core_names)
+        if name is None:
+            name = f"core{core}"
+        hasher = _CoreHasher(name)
+        pack = _RECORD.pack
+        buf = self._buf
+        count = 0
+        for r in records:
+            gap, addr, is_write, pc = r.gap, r.addr, r.is_write, r.pc
+            w = 1 if is_write else 0
+            try:
+                buf += pack(gap, addr, pc, w)
+            except struct.error as exc:
+                raise TraceFormatError(
+                    f"record {count} of core {core}: field out of range "
+                    f"(gap<{_U32_MAX + 1}, addr/pc<2**64 required): {exc}"
+                ) from exc
+            hasher.update(gap, addr, w, pc)
+            count += 1
+            self._buf_count += 1
+            if self._buf_count == self.chunk_records:
+                self._flush_chunk()
+        if self._buf_count:
+            self._flush_chunk()  # chunks never span cores
+        self.core_names.append(name)
+        self.core_counts.append(count)
+        self.core_digests.append(hasher.hexdigest())
+        return count
+
+    def _flush_chunk(self) -> None:
+        data = bytes(self._buf)
+        self._index.append(
+            (self._offset, self._buf_count, zlib.crc32(data))
+        )
+        self._f.write(data)
+        self._offset += len(data)
+        self._buf.clear()
+        self._buf_count = 0
+
+    # -- finalisation ------------------------------------------------------
+
+    def close(self) -> str:
+        """Write meta + index, patch the header, publish the file.
+
+        Returns the workload fingerprint (also stored in the header)."""
+        if self._closed:
+            raise TraceFormatError("writer is closed")
+        if not self.core_names:
+            self.abort()
+            raise TraceFormatError("a trace needs at least one core")
+        self._closed = True
+        fingerprint = _workload_fingerprint(self.name, self.core_digests)
+        meta = json.dumps({
+            "name": self.name,
+            "core_names": self.core_names,
+            "core_counts": self.core_counts,
+            "core_fingerprints": self.core_digests,
+        }, sort_keys=True).encode()
+        meta_offset = self._offset
+        self._f.write(meta)
+        index_offset = meta_offset + len(meta)
+        pack = _INDEX_ENTRY.pack
+        for offset, count, crc in self._index:
+            self._f.write(pack(offset, count, crc))
+        self._f.seek(0)
+        self._f.write(_HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            _HEADER.size,
+            0,
+            len(self.core_names),
+            self.chunk_records,
+            sum(self.core_counts),
+            index_offset,
+            meta_offset,
+            len(meta),
+            fingerprint.encode(),
+        ))
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._f.close()
+        os.replace(self._tmp, self.path)
+        return fingerprint
+
+    def abort(self) -> None:
+        """Discard the partial file (idempotent)."""
+        self._closed = True
+        try:
+            self._f.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TraceBinWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._closed:
+                self.close()
+        else:
+            self.abort()
+
+
+def save_workload_bin(
+    workload: Workload,
+    path,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> str:
+    """Write an in-memory workload to ``path``; returns the fingerprint."""
+    with TraceBinWriter(
+        path, name=workload.name, chunk_records=chunk_records
+    ) as w:
+        for trace in workload:
+            w.write_core(trace, name=trace.name)
+        return w.close()
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+class TraceBinReader:
+    """Memory-mapped random access to a tracebin file.
+
+    Decodes one chunk at a time; the OS pages the mapping, so resident
+    memory tracks the chunks actually touched, not the file size."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        try:
+            self._f = open(self.path, "rb")
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: cannot open ({exc})") from exc
+        try:
+            self._mm = mmap.mmap(
+                self._f.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError) as exc:
+            self._f.close()
+            raise TraceFormatError(
+                f"{path}: cannot map ({exc}); empty or unreadable file"
+            ) from exc
+        try:
+            self._parse()
+        except TraceFormatError:
+            self.close()
+            raise
+
+    def _parse(self) -> None:
+        mm = self._mm
+        if len(mm) < _HEADER.size:
+            raise TraceFormatError(
+                f"{self.path}: too short for a tracebin header "
+                f"({len(mm)} bytes)"
+            )
+        (
+            magic, version, header_size, _flags, cores, chunk_records,
+            total_records, index_offset, meta_offset, meta_size, fp_raw,
+        ) = _HEADER.unpack_from(mm, 0)
+        if magic != MAGIC:
+            raise TraceFormatError(
+                f"{self.path}: bad magic {magic!r} (not a tracebin file, "
+                f"or an interrupted write)"
+            )
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{self.path}: format version {version} unsupported "
+                f"(reader speaks {FORMAT_VERSION})"
+            )
+        self.cores = cores
+        self.chunk_records = chunk_records
+        self.total_records = total_records
+        self.fingerprint = fp_raw.decode()
+        if meta_offset + meta_size > len(mm):
+            raise TraceFormatError(f"{self.path}: meta block out of bounds")
+        try:
+            meta = json.loads(mm[meta_offset:meta_offset + meta_size])
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"{self.path}: corrupt meta block ({exc})"
+            ) from exc
+        self.name = meta["name"]
+        self.core_names = list(meta["core_names"])
+        self.core_counts = [int(n) for n in meta["core_counts"]]
+        self.core_fingerprints = list(meta["core_fingerprints"])
+        if not (len(self.core_names) == len(self.core_counts)
+                == len(self.core_fingerprints) == cores):
+            raise TraceFormatError(
+                f"{self.path}: meta core tables disagree with header "
+                f"({cores} cores)"
+            )
+        if sum(self.core_counts) != total_records:
+            raise TraceFormatError(
+                f"{self.path}: per-core counts sum to "
+                f"{sum(self.core_counts)}, header says {total_records}"
+            )
+        # Index: chunks in file order, core 0 first.  Split per core.
+        n_chunks = sum(
+            (n + chunk_records - 1) // chunk_records for n in self.core_counts
+        )
+        need = index_offset + n_chunks * _INDEX_ENTRY.size
+        if need > len(mm):
+            raise TraceFormatError(
+                f"{self.path}: index out of bounds (truncated file?)"
+            )
+        entries = list(_INDEX_ENTRY.iter_unpack(
+            mm[index_offset:index_offset + n_chunks * _INDEX_ENTRY.size]
+        ))
+        self._chunks: list[list[tuple[int, int, int]]] = []
+        at = 0
+        for core, n in enumerate(self.core_counts):
+            k = (n + chunk_records - 1) // chunk_records
+            core_chunks = entries[at:at + k]
+            at += k
+            if sum(c[1] for c in core_chunks) != n:
+                raise TraceFormatError(
+                    f"{self.path}: core {core} chunk counts disagree with "
+                    f"its record count {n}"
+                )
+            self._chunks.append(core_chunks)
+
+    # -- chunk access ------------------------------------------------------
+
+    def chunk_count(self, core: int) -> int:
+        return len(self._chunks[core])
+
+    def chunk_bytes(self, core: int, ci: int) -> bytes:
+        offset, count, _crc = self._chunks[core][ci]
+        return self._mm[offset:offset + count * RECORD_BYTES]
+
+    def chunk(self, core: int, ci: int) -> list[TraceRecord]:
+        """Decode one chunk into :class:`TraceRecord` objects."""
+        return [
+            TraceRecord(gap, addr, bool(flags & 1), pc)
+            for gap, addr, pc, flags in _RECORD.iter_unpack(
+                self.chunk_bytes(core, ci)
+            )
+        ]
+
+    def records(self, core: int) -> Iterator[TraceRecord]:
+        """All records of one core, chunk by chunk."""
+        for ci in range(len(self._chunks[core])):
+            yield from self.chunk(core, ci)
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self) -> dict:
+        """Recompute every chunk CRC and the content fingerprint.
+
+        Raises :class:`TraceFormatError` naming the first corrupt chunk
+        (bit flips are localised by the per-chunk CRC-32) or the
+        fingerprint mismatch; returns a summary dict when clean."""
+        chunks_checked = 0
+        digests = []
+        for core in range(self.cores):
+            hasher = _CoreHasher(self.core_names[core])
+            for ci, (offset, count, crc) in enumerate(self._chunks[core]):
+                data = self._mm[offset:offset + count * RECORD_BYTES]
+                if zlib.crc32(data) != crc:
+                    raise TraceFormatError(
+                        f"{self.path}: CRC mismatch in chunk {ci} of core "
+                        f"{core} (offset {offset}): the file is corrupt"
+                    )
+                for gap, addr, pc, flags in _RECORD.iter_unpack(data):
+                    hasher.update(gap, addr, flags & 1, pc)
+                chunks_checked += 1
+            digest = hasher.hexdigest()
+            if digest != self.core_fingerprints[core]:
+                raise TraceFormatError(
+                    f"{self.path}: core {core} content fingerprint "
+                    f"mismatch (records altered without CRC damage?)"
+                )
+            digests.append(digest)
+        recomputed = _workload_fingerprint(self.name, digests)
+        if recomputed != self.fingerprint:
+            raise TraceFormatError(
+                f"{self.path}: workload fingerprint mismatch "
+                f"(header {self.fingerprint[:12]}..., content "
+                f"{recomputed[:12]}...)"
+            )
+        return {
+            "chunks": chunks_checked,
+            "records": self.total_records,
+            "fingerprint": self.fingerprint,
+        }
+
+    def info(self) -> dict:
+        """Header/meta summary (no record decoding)."""
+        return {
+            "path": str(self.path),
+            "name": self.name,
+            "cores": self.cores,
+            "core_names": list(self.core_names),
+            "records": self.total_records,
+            "chunk_records": self.chunk_records,
+            "chunks": sum(len(c) for c in self._chunks),
+            "bytes": len(self._mm),
+            "bytes_per_record": (
+                len(self._mm) / self.total_records
+                if self.total_records else 0.0
+            ),
+            "fingerprint": self.fingerprint,
+        }
+
+    def close(self) -> None:
+        try:
+            self._mm.close()
+        finally:
+            self._f.close()
+
+    def __enter__(self) -> "TraceBinReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Workload views (duck-typed CoreTrace/Workload over the reader)
+# ---------------------------------------------------------------------------
+
+
+class BinCoreTrace:
+    """Lazy :class:`CoreTrace` stand-in over one core of a reader.
+
+    Supports the sequence protocol the engines use (``len``, indexing,
+    iteration) by decoding chunks on demand; a two-slot cache keeps the
+    most recently touched chunks decoded, which makes the engines'
+    mostly-sequential access patterns cheap while bounding memory."""
+
+    _CACHE_SLOTS = 2
+
+    def __init__(self, reader: TraceBinReader, core: int) -> None:
+        self._reader = reader
+        self._core = core
+        self.name = reader.core_names[core]
+        self._len = reader.core_counts[core]
+        self._chunk_records = reader.chunk_records
+        self._cache: dict[int, list[TraceRecord]] = {}
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self._reader.records(self._core)
+
+    def __getitem__(self, i: int) -> TraceRecord:
+        if i < 0:
+            i += self._len
+        if not 0 <= i < self._len:
+            raise IndexError(i)
+        ci, off = divmod(i, self._chunk_records)
+        chunk = self._cache.get(ci)
+        if chunk is None:
+            chunk = self._reader.chunk(self._core, ci)
+            if len(self._cache) >= self._CACHE_SLOTS:
+                # Evict the oldest-inserted chunk (dict preserves
+                # insertion order); sequential readers never re-touch it.
+                del self._cache[next(iter(self._cache))]
+            self._cache[ci] = chunk
+        return chunk[off]
+
+    # -- CoreTrace API -----------------------------------------------------
+
+    @property
+    def records(self) -> "BinCoreTrace":
+        """The engines hoist ``trace.records``; serve the lazy view."""
+        return self
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.gap + 1 for r in self)
+
+    def footprint(self) -> int:
+        return len({r.addr for r in self})
+
+    def fingerprint(self) -> str:
+        return self._reader.core_fingerprints[self._core]
+
+
+class BinWorkload(Workload):
+    """A :class:`Workload` streamed from a tracebin file.
+
+    Drop-in for the engines and the recipe layer: same iteration,
+    ``cores``, ``total_accesses`` and -- crucially -- the same
+    :meth:`fingerprint` as the materialised workload, served from the
+    header in O(1).  ``supports_fused`` is False so
+    :class:`~repro.sim.engine.Simulation` keeps the per-access driver
+    (the fast engine's fused driver would materialise whole-trace decode
+    columns, defeating bounded memory).  Pickling re-opens the file by
+    path in the receiving process, so recipes and pool workers can carry
+    one without shipping records."""
+
+    #: Signals Simulation.run to keep the per-access (bounded-memory)
+    #: driver instead of the whole-trace fused driver.
+    supports_fused = False
+
+    def __init__(self, reader: TraceBinReader) -> None:
+        self.reader = reader
+        traces = [BinCoreTrace(reader, c) for c in range(reader.cores)]
+        super().__init__(traces, name=reader.name)
+        self._fingerprint = reader.fingerprint
+        self.chunk_records = reader.chunk_records
+        self.path = reader.path
+
+    def total_accesses(self) -> int:
+        return self.reader.total_records
+
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    def close(self) -> None:
+        self.reader.close()
+
+    def __enter__(self) -> "BinWorkload":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __reduce__(self):
+        return (open_trace, (str(self.path),))
+
+
+def open_trace(path) -> BinWorkload:
+    """Open a tracebin file as a streaming, memory-bounded workload."""
+    return BinWorkload(TraceBinReader(path))
+
+
+def load_workload_bin(path) -> Workload:
+    """Fully materialise a tracebin file as a plain :class:`Workload`
+    (convenience for small traces and tests)."""
+    with TraceBinReader(path) as reader:
+        traces = [
+            CoreTrace(list(reader.records(c)), reader.core_names[c])
+            for c in range(reader.cores)
+        ]
+        return Workload(traces, name=reader.name)
+
+
+# ---------------------------------------------------------------------------
+# TraceRef: the recipe-layer reference
+# ---------------------------------------------------------------------------
+
+
+class TraceRef:
+    """Path + fingerprint reference to an on-disk tracebin workload.
+
+    What a :class:`~repro.sim.parallel.RunRecipe` carries instead of the
+    records: the fingerprint joins the recipe cache key exactly like an
+    in-memory workload's (same preimage -- see
+    :func:`_workload_fingerprint`), and :meth:`resolve` re-opens and
+    *verifies* the file in the executing process, so a cached result can
+    never alias a trace whose bytes changed under the same path."""
+
+    __slots__ = ("path", "name", "_fingerprint")
+
+    def __init__(self, path, fingerprint: str, name: str = "") -> None:
+        self.path = str(path)
+        self.name = name or default_workload_name(path)
+        self._fingerprint = fingerprint
+
+    def fingerprint(self) -> str:
+        """Duck-types :meth:`Workload.fingerprint` for the cache key."""
+        return self._fingerprint
+
+    def resolve(self) -> BinWorkload:
+        """Open the file; fails loudly when its content fingerprint no
+        longer matches this reference."""
+        wl = open_trace(self.path)
+        if wl.fingerprint() != self._fingerprint:
+            wl.close()
+            raise TraceFormatError(
+                f"{self.path}: trace fingerprint "
+                f"{wl.fingerprint()[:12]}... does not match the "
+                f"reference {self._fingerprint[:12]}...; the file changed "
+                f"since the reference was taken"
+            )
+        return wl
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRef({self.path!r}, {self._fingerprint[:12]}..., "
+            f"name={self.name!r})"
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceRef)
+            and self.path == other.path
+            and self.name == other.name
+            and self._fingerprint == other._fingerprint
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.name, self._fingerprint))
+
+    def __reduce__(self):
+        return (TraceRef, (self.path, self._fingerprint, self.name))
+
+
+def make_trace_ref(path) -> TraceRef:
+    """Build a :class:`TraceRef` from a tracebin file's header."""
+    with TraceBinReader(path) as reader:
+        return TraceRef(path, reader.fingerprint, name=reader.name)
+
+
+def resolve_workload(workload):
+    """Normalise a workload argument: a :class:`TraceRef` opens (and
+    verifies) its file; anything Workload-shaped passes through."""
+    if isinstance(workload, TraceRef):
+        return workload.resolve()
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Importers
+# ---------------------------------------------------------------------------
+
+
+class _CoreSpool:
+    """Per-core temporary spool of packed records (out-of-core grouping).
+
+    Text traces interleave cores arbitrarily; the binary layout groups
+    them.  Records spool to per-core temp files as they are parsed, then
+    replay into the writer one core at a time -- memory stays bounded by
+    one buffered chunk regardless of source size."""
+
+    def __init__(self) -> None:
+        self._files: dict[int, io.BufferedRandom] = {}
+        self.counts: dict[int, int] = {}
+
+    def append(self, core: int, record: TraceRecord) -> None:
+        f = self._files.get(core)
+        if f is None:
+            f = self._files[core] = tempfile.TemporaryFile()
+            self.counts[core] = 0
+        f.write(_RECORD.pack(
+            record.gap, record.addr, record.pc,
+            1 if record.is_write else 0,
+        ))
+        self.counts[core] += 1
+
+    def declare(self, core: int) -> None:
+        if core not in self._files:
+            self._files[core] = tempfile.TemporaryFile()
+            self.counts[core] = 0
+
+    def replay(self, core: int) -> Iterator[TraceRecord]:
+        f = self._files[core]
+        f.seek(0)
+        while True:
+            block = f.read(RECORD_BYTES * 4096)
+            if not block:
+                return
+            for gap, addr, pc, flags in _RECORD.iter_unpack(block):
+                yield TraceRecord(gap, addr, bool(flags & 1), pc)
+
+    def close(self) -> None:
+        for f in self._files.values():
+            f.close()
+
+
+def convert_text_trace(
+    src,
+    dst,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> dict:
+    """Convert a gzip text trace (:mod:`repro.sim.tracefile`) to tracebin.
+
+    Streams the source once (records spool through per-core temp files),
+    enforces the same syntax and dense-core-id rules as
+    :func:`~repro.sim.tracefile.load_workload`, and preserves empty
+    declared cores.  Returns the written file's :meth:`info` summary."""
+    src = Path(src)
+    name = default_workload_name(src)
+    core_names: dict[int, str] = {}
+    spool = _CoreSpool()
+    try:
+        for event in scan_workload(src):
+            kind = event[0]
+            if kind == "workload":
+                name = event[1]
+            elif kind == "core":
+                core_names[event[1]] = event[2]
+                spool.declare(event[1])
+            else:
+                spool.append(event[1], event[2])
+        if not spool.counts:
+            raise TraceFormatError(f"{src}: no records")
+        cores = sorted(spool.counts)
+        if cores != list(range(len(cores))):
+            raise TraceFormatError(
+                f"{src}: core ids must be dense from 0, got {cores}"
+            )
+        with TraceBinWriter(dst, name=name, chunk_records=chunk_records) as w:
+            for core in cores:
+                w.write_core(
+                    spool.replay(core),
+                    name=core_names.get(core, f"core{core}"),
+                )
+            w.close()
+    finally:
+        spool.close()
+    with TraceBinReader(dst) as reader:
+        return reader.info()
+
+
+def convert_din_trace(
+    src,
+    dst,
+    name: Optional[str] = None,
+    block_bits: int = 6,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> dict:
+    """Convert a SimpleScalar/Dinero-style address trace to tracebin.
+
+    The external format (what ``sim-cache``-era tooling emits) is one
+    access per line: a label then a hex or decimal address, whitespace
+    separated.  Labels ``0``/``r``/``R`` are reads, ``1``/``w``/``W``
+    writes, ``2``/``i``/``I`` instruction fetches (imported as reads).
+    ``#``/``//``-prefixed lines are comments.  Byte addresses shift
+    right by ``block_bits`` (64-byte blocks by default) to the block
+    addresses the simulator uses; the trace is single-core with zero
+    gaps and PCs.  Plain or gzip sources both work.  Returns the written
+    file's :meth:`info` summary."""
+    src = Path(src)
+    if name is None:
+        name = default_workload_name(src)
+        if name.endswith(".din"):
+            name = name[:-4]
+
+    def _records() -> Iterator[TraceRecord]:
+        import gzip
+
+        opener = gzip.open if src.suffix == ".gz" else open
+        try:
+            with opener(src, "rt") as f:
+                for line_no, line in enumerate(f, start=1):
+                    line = line.strip()
+                    if (not line or line.startswith("#")
+                            or line.startswith("//")):
+                        continue
+                    parts = line.split()
+                    if len(parts) < 2:
+                        raise TraceFormatError(
+                            f"{src}:{line_no}: expected 'label address', "
+                            f"got {line!r}"
+                        )
+                    label = parts[0].lower()
+                    if label in ("0", "r"):
+                        is_write = False
+                    elif label in ("1", "w"):
+                        is_write = True
+                    elif label in ("2", "i"):
+                        is_write = False
+                    else:
+                        raise TraceFormatError(
+                            f"{src}:{line_no}: unknown access label "
+                            f"{parts[0]!r} (expected 0/1/2 or r/w/i)"
+                        )
+                    raw = parts[1]
+                    try:
+                        addr = int(raw, 16) if (
+                            raw.lower().startswith("0x")
+                            or any(c in "abcdef" for c in raw.lower())
+                        ) else int(raw)
+                    except ValueError as exc:
+                        raise TraceFormatError(
+                            f"{src}:{line_no}: bad address {raw!r}"
+                        ) from exc
+                    yield TraceRecord(0, addr >> block_bits, is_write, 0)
+        except (EOFError, UnicodeDecodeError, zlib.error) as exc:
+            raise TraceFormatError(
+                f"{src}: corrupt or truncated trace "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+
+    with TraceBinWriter(dst, name=name, chunk_records=chunk_records) as w:
+        if w.write_core(_records(), name=name) == 0:
+            w.abort()
+            raise TraceFormatError(f"{src}: no records")
+        w.close()
+    with TraceBinReader(dst) as reader:
+        return reader.info()

@@ -1,4 +1,4 @@
-"""Trace (de)serialisation.
+"""Trace (de)serialisation: the gzip **text** format.
 
 Workloads are reproducible from their seeds, but downstream users often
 want to run the simulator on *their own* traces (e.g. converted from Pin,
@@ -8,19 +8,54 @@ defines a minimal gzip'd text format, one record per line:
     core gap addr rw pc      (all integers; rw is 0/1; addr in blocks)
 
 with ``#``-prefixed header lines carrying the workload and per-core trace
-names.
+names.  A ``# core`` header with no matching records declares an *empty*
+core trace, so workloads containing idle cores round-trip exactly.
+
+Name resolution
+---------------
+The workload name comes from the ``# workload`` header when one is
+present; otherwise it defaults to the file name with the conventional
+trace suffixes stripped (``foo.trace.gz`` -> ``foo``, ``foo.gz`` ->
+``foo``), computed by :func:`default_workload_name`.  ``save_workload``
+always writes the header, so files produced by this module never depend
+on the fallback.
+
+For traces too large to materialise, see :mod:`repro.sim.tracebin` --
+the chunked binary format with memory-mapped streaming readers;
+``repro trace convert`` turns files in this text format into it.
 """
 
 from __future__ import annotations
 
 import gzip
+import zlib
 from pathlib import Path
+from typing import Iterator, Union
 
 from repro.sim.trace import CoreTrace, TraceRecord, Workload
 
 
 class TraceFormatError(ValueError):
     """Raised when a trace file does not parse."""
+
+
+#: Suffixes stripped (right to left, each at most once) when deriving a
+#: workload name from a file name.
+_NAME_SUFFIXES = (".gz", ".txt", ".trace")
+
+
+def default_workload_name(path) -> str:
+    """Workload name implied by a trace file name.
+
+    Strips the conventional compression/format suffixes so that
+    ``foo.trace.gz``, ``foo.trace`` and ``foo.gz`` all name the workload
+    ``foo``.  Used by :func:`load_workload` (and the binary importers)
+    whenever the file carries no explicit ``# workload`` header."""
+    name = Path(path).name
+    for suffix in _NAME_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            name = name[: -len(suffix)]
+    return name
 
 
 def save_workload(workload: Workload, path) -> None:
@@ -37,43 +72,98 @@ def save_workload(workload: Workload, path) -> None:
                 )
 
 
+#: Events yielded by :func:`scan_workload`.
+ScanEvent = Union[
+    tuple[str, str],                     # ("workload", name)
+    tuple[str, int, str],                # ("core", id, name)
+    tuple[str, int, TraceRecord],        # ("record", core, record)
+]
+
+
+def scan_workload(path) -> Iterator[ScanEvent]:
+    """Stream-parse a text trace, one event per meaningful line.
+
+    Yields ``("workload", name)`` for the workload header, ``("core",
+    core_id, name)`` for core headers and ``("record", core_id, record)``
+    for data lines, in file order -- without ever holding more than one
+    line in memory.  :func:`load_workload` and the binary importer
+    (:func:`repro.sim.tracebin.convert_text_trace`) share this scanner,
+    so both enforce identical syntax.
+
+    Corrupt input -- a file that is not gzip, a truncated stream, or
+    bytes that do not decode as text -- raises :class:`TraceFormatError`
+    naming the path, never a raw :class:`gzip.BadGzipFile` /
+    :class:`EOFError` / :class:`UnicodeDecodeError`.
+    """
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt") as f:
+            for line_no, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    parts = line[1:].split()
+                    if parts and parts[0] == "workload" and len(parts) > 1:
+                        yield ("workload", parts[1])
+                    elif parts and parts[0] == "core" and len(parts) >= 2:
+                        try:
+                            core_id = int(parts[1])
+                        except ValueError as exc:
+                            raise TraceFormatError(
+                                f"{path}:{line_no}: non-integer core id in "
+                                f"header"
+                            ) from exc
+                        name = parts[2] if len(parts) >= 3 else f"core{core_id}"
+                        yield ("core", core_id, name)
+                    continue
+                parts = line.split()
+                if len(parts) != 5:
+                    raise TraceFormatError(
+                        f"{path}:{line_no}: expected 5 fields, got "
+                        f"{len(parts)}"
+                    )
+                try:
+                    core, gap, addr, rw, pc = (int(p) for p in parts)
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_no}: non-integer field"
+                    ) from exc
+                if core < 0 or gap < 0 or addr < 0 or rw not in (0, 1):
+                    raise TraceFormatError(
+                        f"{path}:{line_no}: field out of range"
+                    )
+                yield ("record", core, TraceRecord(gap, addr, bool(rw), pc))
+    except (
+        gzip.BadGzipFile, EOFError, UnicodeDecodeError, zlib.error,
+    ) as exc:
+        raise TraceFormatError(
+            f"{path}: corrupt or truncated trace "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
 def load_workload(path) -> Workload:
     """Read a workload written by :func:`save_workload` (or hand-made in
-    the same format)."""
+    the same format).
+
+    The ``# workload`` header names the workload when present; otherwise
+    the name falls back to :func:`default_workload_name`.  A ``# core``
+    header with no records yields an empty :class:`CoreTrace`, so
+    workloads containing idle cores round-trip exactly."""
     path = Path(path)
-    name = path.stem
+    name = default_workload_name(path)
     core_names: dict[int, str] = {}
     records: dict[int, list[TraceRecord]] = {}
-    with gzip.open(path, "rt") as f:
-        for line_no, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if parts and parts[0] == "workload" and len(parts) > 1:
-                    name = parts[1]
-                elif parts and parts[0] == "core" and len(parts) >= 3:
-                    core_names[int(parts[1])] = parts[2]
-                continue
-            parts = line.split()
-            if len(parts) != 5:
-                raise TraceFormatError(
-                    f"{path}:{line_no}: expected 5 fields, got {len(parts)}"
-                )
-            try:
-                core, gap, addr, rw, pc = (int(p) for p in parts)
-            except ValueError as exc:
-                raise TraceFormatError(
-                    f"{path}:{line_no}: non-integer field"
-                ) from exc
-            if core < 0 or gap < 0 or addr < 0 or rw not in (0, 1):
-                raise TraceFormatError(
-                    f"{path}:{line_no}: field out of range"
-                )
-            records.setdefault(core, []).append(
-                TraceRecord(gap, addr, bool(rw), pc)
-            )
+    for event in scan_workload(path):
+        kind = event[0]
+        if kind == "workload":
+            name = event[1]
+        elif kind == "core":
+            core_names[event[1]] = event[2]
+            records.setdefault(event[1], [])
+        else:
+            records.setdefault(event[1], []).append(event[2])
     if not records:
         raise TraceFormatError(f"{path}: no records")
     cores = sorted(records)

@@ -87,3 +87,74 @@ class TestCommands:
             "--config", str(path),
         ]) == 0
         assert "cycles" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def text_trace(self, tmp_path):
+        from repro.sim.tracefile import save_workload
+        from repro.workloads import homogeneous_mix
+
+        wl = homogeneous_mix("gcc.1", cores=2, n_accesses=400, seed=2)
+        path = tmp_path / "gcc.trace.gz"
+        save_workload(wl, path)
+        return path
+
+    def test_convert_info_verify(self, capsys, text_trace, tmp_path):
+        dst = tmp_path / "gcc.tracebin"
+        assert main(["trace", "convert", str(text_trace), str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint:" in out
+        assert main(["trace", "info", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "records: 800" in out and "cores: 2" in out
+        assert main(["trace", "verify", str(dst)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_convert_needs_destination(self, capsys, text_trace):
+        assert main(["trace", "convert", str(text_trace)]) == 2
+
+    def test_verify_reports_corruption(self, capsys, text_trace, tmp_path):
+        dst = tmp_path / "gcc.tracebin"
+        assert main(["trace", "convert", str(text_trace), str(dst)]) == 0
+        capsys.readouterr()
+        data = bytearray(dst.read_bytes())
+        data[200] ^= 0x01
+        dst.write_bytes(bytes(data))
+        assert main(["trace", "verify", str(dst)]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_run_streams_binary_trace(self, capsys, text_trace, tmp_path,
+                                      monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        dst = tmp_path / "gcc.tracebin"
+        assert main(["trace", "convert", str(text_trace), str(dst)]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", "--trace", str(dst), "--scheme", "ziv:notinprc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accesses      : 800" in out
+
+    def test_run_checkpoint_stop_and_resume(self, capsys, text_trace,
+                                            tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        dst = tmp_path / "gcc.tracebin"
+        assert main(["trace", "convert", str(text_trace), str(dst)]) == 0
+        ckpt = tmp_path / "run.ckpt"
+        capsys.readouterr()
+        assert main([
+            "run", "--trace", str(dst), "--scheme", "inclusive",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "200",
+            "--stop-after", "400",
+        ]) == 3
+        assert "resume with --resume" in capsys.readouterr().out
+        assert ckpt.exists()
+        assert main([
+            "run", "--trace", str(dst), "--scheme", "inclusive",
+            "--checkpoint", str(ckpt), "--resume",
+        ]) == 0
+        assert "accesses      : 800" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["run", "--resume"]) == 2

@@ -28,6 +28,7 @@ DOC_FILES = (
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/STATIC_ANALYSIS.md",
+    "docs/TRACES.md",
 )
 
 SKIP_MARKER = "# docs-test: skip"

@@ -78,3 +78,94 @@ class TestValidation:
         wl = load_workload(p)
         assert wl.name == "myload"
         assert wl[0].name == "appA"
+
+
+class TestEmptyCoreRoundTrip:
+    def test_empty_core_round_trips(self, tmp_path):
+        # Regression: a '# core' header with no records used to vanish
+        # on reload, failing the dense-core-id check.
+        wl = Workload(
+            [CoreTrace([TraceRecord(0, 1, False, 2)], "busy"),
+             CoreTrace([], "idle")],
+            name="halfidle",
+        )
+        path = tmp_path / "halfidle.trace.gz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert loaded.cores == 2
+        assert len(loaded[1]) == 0
+        assert loaded[1].name == "idle"
+        assert loaded.fingerprint() == wl.fingerprint()
+
+    def test_all_but_one_empty(self, tmp_path):
+        wl = Workload(
+            [CoreTrace([], "idle0"),
+             CoreTrace([TraceRecord(1, 2, True, 3)], "busy"),
+             CoreTrace([], "idle2")],
+            name="mostlyidle",
+        )
+        path = tmp_path / "mostlyidle.trace.gz"
+        save_workload(wl, path)
+        loaded = load_workload(path)
+        assert [len(t) for t in loaded] == [0, 1, 0]
+        assert loaded.fingerprint() == wl.fingerprint()
+
+
+class TestCorruptInput:
+    def test_not_gzip_raises_trace_format_error(self, tmp_path):
+        # Regression: raw BadGzipFile used to escape to the caller.
+        p = tmp_path / "junk.trace.gz"
+        p.write_bytes(b"this is not gzip data")
+        with pytest.raises(TraceFormatError, match="corrupt or truncated"):
+            load_workload(p)
+
+    def test_truncated_gzip_raises_trace_format_error(self, tmp_path):
+        good = tmp_path / "good.trace.gz"
+        wl = homogeneous_mix("gcc.1", cores=2, n_accesses=200, seed=1)
+        save_workload(wl, good)
+        cut = tmp_path / "cut.trace.gz"
+        cut.write_bytes(good.read_bytes()[:60])
+        with pytest.raises(TraceFormatError, match="corrupt or truncated"):
+            load_workload(cut)
+
+    def test_error_names_the_path(self, tmp_path):
+        p = tmp_path / "junk.trace.gz"
+        p.write_bytes(b"nope")
+        with pytest.raises(TraceFormatError, match="junk.trace.gz"):
+            load_workload(p)
+
+    def test_missing_file_is_not_wrapped(self, tmp_path):
+        # Genuine I/O errors must keep their type (they are not a
+        # malformed trace).
+        with pytest.raises(FileNotFoundError):
+            load_workload(tmp_path / "absent.trace.gz")
+
+
+class TestNameResolution:
+    def write_headerless(self, path):
+        with gzip.open(path, "wt") as f:
+            f.write("0 1 2 0 5\n")
+
+    def test_strips_trace_gz(self, tmp_path):
+        # Regression: path.stem left 'foo.trace' for 'foo.trace.gz'.
+        p = tmp_path / "foo.trace.gz"
+        self.write_headerless(p)
+        assert load_workload(p).name == "foo"
+
+    @pytest.mark.parametrize("filename,expected", [
+        ("foo.gz", "foo"),
+        ("foo.trace", "foo"),
+        ("foo.txt.gz", "foo"),
+        ("foo", "foo"),
+        (".trace", ".trace"),  # suffix-only names are kept whole
+    ])
+    def test_suffix_stripping(self, tmp_path, filename, expected):
+        from repro.sim.tracefile import default_workload_name
+
+        assert default_workload_name(tmp_path / filename) == expected
+
+    def test_header_beats_filename(self, tmp_path):
+        p = tmp_path / "foo.trace.gz"
+        with gzip.open(p, "wt") as f:
+            f.write("# workload named\n0 1 2 0 5\n")
+        assert load_workload(p).name == "named"
