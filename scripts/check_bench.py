@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Validate the unified BENCH_*.json schema.
+
+Every committed benchmark report -- and every report a benchmark script
+emits from now on -- must carry the keys ``repro obs regress`` consumes:
+
+* ``bench``        -- the benchmark family name (string);
+* ``cpus``         -- host CPU count the rates were measured on (int,
+                      positive); absolute rates only transfer between
+                      hosts with matching counts, so regress skips
+                      mismatches *by reading this field*;
+* ``methodology``  -- one-sentence note on how the numbers were taken
+                      (fresh hierarchy?  best-of-N?  scale?), so a
+                      future reader can tell whether two reports are
+                      comparable at all;
+* at least one *directional* throughput metric: a key ending in
+  ``_per_s``, containing ``speedup``, or containing ``overhead``
+  (see ``repro.obs.regress.metric_direction``).
+
+Exit 0 when every file conforms, 1 otherwise (listing each problem).
+
+Usage::
+
+    python scripts/check_bench.py [FILE_OR_GLOB ...]   # default BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.regress import metric_direction  # noqa: E402
+
+REQUIRED = {
+    "bench": str,
+    "cpus": int,
+    "methodology": str,
+}
+
+
+def check_report(path: str, data: object) -> list:
+    problems = []
+    if not isinstance(data, dict):
+        return [f"{path}: report must be a JSON object"]
+    for key, kind in sorted(REQUIRED.items()):
+        value = data.get(key)
+        if value is None:
+            problems.append(f"{path}: missing required key {key!r}")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            problems.append(
+                f"{path}: {key!r} must be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        elif kind is int and value <= 0:
+            problems.append(f"{path}: {key!r} must be positive")
+        elif kind is str and not value.strip():
+            problems.append(f"{path}: {key!r} must be non-empty")
+    directional = [k for k in data if metric_direction(k) is not None]
+    if not directional:
+        problems.append(
+            f"{path}: no directional throughput metric (need a key "
+            f"ending in _per_s, or containing speedup/overhead)"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    patterns = (argv if argv else None) or ["BENCH_*.json"]
+    paths: list = []
+    for pattern in patterns:
+        matches = sorted(glob.glob(pattern))
+        paths.extend(matches if matches else [pattern])
+    if not paths:
+        print("no bench reports found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path}: {exc}")
+            continue
+        problems.extend(check_report(path, data))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{len(paths)} bench report(s) conform to the unified "
+              f"schema")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

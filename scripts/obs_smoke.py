@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI observability smoke: exercise the ledger end to end.
+
+Runs a small recipe grid on both engines (fresh, then cache-resolved),
+then asserts the observability stack's core guarantees:
+
+* every resolution appended exactly one ledger record, with the right
+  provenance (``run`` then ``memo``) and a non-zero rate on fresh runs;
+* records round-trip bit-identically through their canonical JSON line
+  form *and* through the Prometheus exposition (floats use shortest
+  round-trip formatting);
+* the profiled run reports phase times and a counter attribution that
+  is identical across engines;
+* ``run_regress`` over the fresh ledger produces a report without
+  errors (the CI regression *gate* is a separate ``repro obs regress
+  --check`` invocation against the committed BENCH history).
+
+Exit 0 on success; any assertion failure is a non-zero exit.
+
+Usage::
+
+    REPRO_CACHE_DIR=$(mktemp -d) python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.ledger import (  # noqa: E402
+    LedgerRecord,
+    ledger_path,
+    read_ledger,
+)
+from repro.obs.registry import (  # noqa: E402
+    parse_prometheus,
+    registry_from_ledger,
+)
+from repro.obs.regress import run_regress  # noqa: E402
+from repro.params import (  # noqa: E402
+    CacheGeometry,
+    DirectoryGeometry,
+    LLCGeometry,
+    SystemConfig,
+)
+from repro.sim.engine import run_workload  # noqa: E402
+from repro.sim.parallel import RunRecipe, run_many  # noqa: E402
+from repro.sim.trace import (  # noqa: E402
+    CoreTrace,
+    TraceRecord,
+    Workload,
+)
+
+
+def small_config(engine: str = "object") -> SystemConfig:
+    return SystemConfig(
+        cores=2,
+        l1=CacheGeometry(sets=1, ways=2),
+        l2=CacheGeometry(sets=2, ways=4),
+        llc=LLCGeometry(banks=2, sets_per_bank=4, ways=4),
+        directory=DirectoryGeometry(sets=2, ways=8),
+        engine=engine,
+    )
+
+
+def small_workload(k: int = 0, length: int = 600) -> Workload:
+    traces = [
+        CoreTrace(
+            [TraceRecord(1, (c + 1) * 256 + (i * (k + 2)) % 48,
+                         i % 5 == 0, i % 4) for i in range(length)]
+        )
+        for c in range(2)
+    ]
+    return Workload(traces, f"smoke-wl{k}")
+
+
+def main() -> int:
+    start = len(read_ledger())
+
+    # -- a small grid on both engines, fresh then cache-resolved -------
+    recipes = [
+        RunRecipe(small_workload(k), scheme, small_config(engine))
+        for engine in ("object", "fast")
+        for scheme in ("inclusive", "ziv:notinprc")
+        for k in range(2)
+    ]
+    results = run_many(recipes)
+    rerun = run_many(recipes)
+    assert len(results) == len(rerun) == len(recipes)
+
+    records = read_ledger()[start:]
+    assert len(records) == 2 * len(recipes), (
+        f"expected {2 * len(recipes)} ledger records, got {len(records)}"
+    )
+    fresh = records[: len(recipes)]
+    cached = records[len(recipes):]
+    assert all(r.source == "run" and not r.cache_hit for r in fresh)
+    assert all(r.source == "memo" and r.cache_hit for r in cached)
+    assert all(r.wall_s > 0 and r.accesses_per_s > 0 for r in fresh)
+    assert {r.engine for r in fresh} == {"object", "fast"}
+    assert {r.recipe_key for r in fresh} == {r.key() for r in recipes}
+
+    # -- JSON-line round trip is bit-identical --------------------------
+    for rec in records:
+        line = rec.to_json_line()
+        assert LedgerRecord.from_json_line(line) == rec
+        assert LedgerRecord.from_json_line(line).to_json_line() == line
+
+    # -- Prometheus exposition round trip is exact ----------------------
+    registry = registry_from_ledger(records)
+    parsed = parse_prometheus(registry.to_prometheus())
+    for engine in ("object", "fast"):
+        best = max(
+            r.accesses_per_s for r in fresh if r.engine == engine
+        )
+        key = ("repro_best_accesses_per_s", (("engine", engine),))
+        assert parsed[key] == best, (engine, parsed[key], best)
+    assert parsed[("repro_ledger_records", ())] == len(records)
+
+    # -- profiler: phases on both engines, engine-invariant attribution
+    wl = small_workload(9)
+    profiled = {
+        engine: run_workload(small_config(engine), wl, "inclusive",
+                             profile="on")
+        for engine in ("object", "fast")
+    }
+    for engine, result in profiled.items():
+        p = result.profile
+        assert p is not None and p.engine == engine
+        assert p.phase_s.get("access_loop", 0.0) > 0.0
+    assert (
+        profiled["object"].profile.attribution
+        == profiled["fast"].profile.attribution
+    )
+
+    # -- the regress machinery runs clean over what we just recorded ----
+    report = run_regress(ledger_records=read_ledger())
+    assert not report.errors, report.errors
+
+    print(
+        f"obs smoke: {len(records) + 2} ledger record(s) in "
+        f"{ledger_path()}, round-trips exact, profiler live on both "
+        f"engines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

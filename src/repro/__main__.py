@@ -11,6 +11,7 @@ Commands
 ``cache``                inspect or clear the persistent result cache
 ``lint``                 static-analysis pass enforcing simulator invariants
 ``trace``                convert/inspect/verify binary trace files
+``obs``                  run ledger, metrics export, perf-regression gate
 """
 
 from __future__ import annotations
@@ -84,8 +85,9 @@ def _cmd_run(args) -> int:
     progress = None
     if args.progress:
         def progress(p):
+            who = f"{p.label}/{p.engine}" if p.label or p.engine else "run"
             sys.stderr.write(
-                f"\rchunk {p.chunk}/{p.chunks} | "
+                f"\r{who}: chunk {p.chunk}/{p.chunks} | "
                 f"{p.accesses_done}/{p.total_accesses} accesses "
                 f"({100.0 * p.fraction:3.0f}%)"
                 + (" | checkpointed" if p.checkpointed else "")
@@ -101,6 +103,7 @@ def _cmd_run(args) -> int:
         result = run_workload(
             config, wl, args.scheme, llc_policy=args.policy,
             audit=args.audit, telemetry=args.telemetry,
+            profile=args.profile,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume_from=resume_from,
@@ -214,6 +217,12 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs.cli import run_obs
+
+    return run_obs(args)
+
+
 def _cmd_trace(args) -> int:
     from repro.sim.tracebin import (
         TraceBinReader,
@@ -315,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "--telemetry=250,events=relocation.  The "
                         "REPRO_TELEMETRY environment variable supplies a "
                         "default spec (see repro.sim.telemetry)")
+    p.add_argument("--profile", nargs="?", const="on", default=None,
+                   metavar="SPEC",
+                   help="enable the deterministic phase profiler "
+                        "('on'/'off'); phase wall times and counter-derived "
+                        "hot-path attribution print with the result and "
+                        "land in the run ledger.  The REPRO_PROFILE "
+                        "environment variable supplies a default spec "
+                        "(see repro.obs.profile)")
     p.add_argument("--events-out", default=None, metavar="FILE.jsonl",
                    help="write traced telemetry events as JSONL")
     p.add_argument("--trace", default=None, metavar="FILE.tracebin",
@@ -400,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "many bits to block addresses (default 6 = 64B)")
     p.add_argument("--chunk-records", type=int, default=65536,
                    help="records per chunk in the output (default 65536)")
+
+    p = sub.add_parser(
+        "obs",
+        help="fleet observability: run-ledger inspection (ls/show/top/"
+             "diff), metrics export (Prometheus/JSON), perf-regression "
+             "gate (regress)",
+    )
+    from repro.obs.cli import add_arguments as _add_obs_arguments
+
+    _add_obs_arguments(p)
     return parser
 
 
@@ -415,6 +442,7 @@ def main(argv=None) -> int:
         "cache": _cmd_cache,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "obs": _cmd_obs,
     }[args.command]
     if args.command == "trace" and args.action == "convert" and not args.dst:
         print("trace convert needs a destination path", file=sys.stderr)

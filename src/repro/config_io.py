@@ -35,6 +35,7 @@ from repro.params import (
     DRAMParams,
     LLCGeometry,
     PrefetchParams,
+    ProfileParams,
     SystemConfig,
     TelemetryParams,
 )
@@ -50,6 +51,7 @@ _SECTIONS: dict[str, type[Any]] = {
     "prefetch": PrefetchParams,
     "audit": AuditParams,
     "telemetry": TelemetryParams,
+    "profile": ProfileParams,
 }
 
 

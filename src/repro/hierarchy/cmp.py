@@ -38,6 +38,9 @@ class CoherenceError(RuntimeError):
 class CacheHierarchy:
     """An assembled CMP memory hierarchy."""
 
+    #: Which engine produced a result (ledger/profile provenance).
+    engine_name = "object"
+
     def __init__(
         self,
         config: SystemConfig,

@@ -6,5 +6,6 @@ from repro.lint.rules import (  # noqa: F401
     counters,
     determinism,
     event_schema,
+    ledger_schema,
     telemetry_guard,
 )

@@ -1,0 +1,202 @@
+"""Rule: the run-ledger record schema, its writers and the docs agree.
+
+The run ledger (:mod:`repro.obs.ledger`) is append-only provenance: a
+JSONL file other tooling -- ``repro obs``, dashboards, the regression
+gate -- parses long after the writing process is gone.  Its schema lives
+in three artefacts: the ``LedgerRecord`` dataclass declares the fields,
+every ``LedgerRecord(...)`` construction site populates them, and
+docs/OBSERVABILITY.md documents one table row per field.  Three
+artefacts, three ways to drift.  This rule pins them together:
+
+* every ``LedgerRecord(...)`` call passes **every declared field as an
+  explicit keyword** -- no positional args, no omissions-to-default, no
+  stray keywords.  A writer that silently relies on a default is how a
+  field goes stale without anyone noticing (``**kwargs`` splats are
+  findings too: they hide the field list from this check);
+* every declared field appears in the Field table of
+  docs/OBSERVABILITY.md, and every documented field is still declared
+  (no ghost rows).
+
+The rule is inert when the project has no ``obs/ledger.py`` (pre-ledger
+trees lint clean), and the doc check is skipped when the doc or its
+Field table is absent -- the writer check alone still runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.lint.model import Finding
+from repro.lint.project import DocFile, Project, SourceFile
+from repro.lint.registry import Rule, register
+
+_DOC_NAME = "OBSERVABILITY.md"
+
+#: Header row of the ledger field table in the observability doc.
+_FIELD_TABLE_HEADER = re.compile(
+    r"^\|\s*Field\s*\|", re.IGNORECASE
+)
+_FIELD_TABLE_ROW = re.compile(r"^\|\s*`(?P<field>[A-Za-z0-9_]+)`\s*\|")
+
+
+def declared_fields(
+    tree: ast.Module,
+) -> Optional[dict[str, int]]:
+    """``{field: lineno}`` from the ``LedgerRecord`` dataclass body;
+    None when the module does not define the class."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "LedgerRecord":
+            out: dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    out[stmt.target.id] = stmt.lineno
+            return out
+    return None
+
+
+def documented_fields(doc: DocFile) -> dict[str, int]:
+    """``{field: lineno}`` from the Field table."""
+    out: dict[str, int] = {}
+    in_table = False
+    for lineno, line in enumerate(doc.text.splitlines(), 1):
+        if _FIELD_TABLE_HEADER.match(line):
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        if not line.lstrip().startswith("|"):
+            in_table = False
+            continue
+        m = _FIELD_TABLE_ROW.match(line)
+        if m is None:
+            continue  # the |---| separator row
+        out[m.group("field")] = lineno
+    return out
+
+
+def _constructor_sites(
+    sf: SourceFile,
+) -> Iterable[ast.Call]:
+    tree = sf.tree
+    if tree is None:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "LedgerRecord":
+                yield node
+
+
+@register
+class LedgerSchemaSyncRule(Rule):
+    rule_id = "ledger-schema-sync"
+    description = (
+        "LedgerRecord fields, every LedgerRecord(...) writer site and "
+        "the field table in docs/OBSERVABILITY.md must agree"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        ledger = project.find_module("ledger.py")
+        if ledger is None or ledger.tree is None:
+            return
+        declared = declared_fields(ledger.tree)
+        if declared is None:
+            return
+        fields = set(declared)
+
+        # -- every writer passes exactly the declared fields ---------------
+        for sf in project.files:
+            if not isinstance(sf, SourceFile):
+                continue
+            for call in _constructor_sites(sf):
+                if call.args:
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            "LedgerRecord(...) must pass every field as "
+                            "an explicit keyword (positional args hide "
+                            "schema drift)"
+                        ),
+                    )
+                    continue
+                passed: set[str] = set()
+                splat = False
+                for kw in call.keywords:
+                    if kw.arg is None:
+                        splat = True
+                    else:
+                        passed.add(kw.arg)
+                if splat:
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            "LedgerRecord(...) must not use a **kwargs "
+                            "splat: the field list must be visible to "
+                            "the schema-sync check"
+                        ),
+                    )
+                    continue
+                for field in sorted(fields - passed):
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"LedgerRecord(...) omits declared field "
+                            f"{field!r}; every writer must set every "
+                            f"field explicitly"
+                        ),
+                    )
+                for field in sorted(passed - fields):
+                    yield Finding(
+                        file=sf.rel,
+                        line=call.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"LedgerRecord(...) passes unknown field "
+                            f"{field!r} (not declared on the dataclass)"
+                        ),
+                    )
+
+        # -- the documentation table matches the declaration ---------------
+        doc = project.find_doc(_DOC_NAME)
+        if doc is None:
+            return
+        documented = documented_fields(doc)
+        if not documented:
+            return
+        for field, line in sorted(declared.items()):
+            if field not in documented:
+                yield Finding(
+                    file=ledger.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"ledger field {field!r} is missing from the "
+                        f"Field table in {doc.rel}"
+                    ),
+                )
+        for field, line in sorted(documented.items()):
+            if field not in declared:
+                yield Finding(
+                    file=doc.rel,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"Field table documents {field!r}, which "
+                        f"LedgerRecord does not declare (ghost row)"
+                    ),
+                )

@@ -1,19 +1,25 @@
-"""Rule: telemetry emission only behind the enabled-predicate.
+"""Rule: telemetry/profiler emission only behind the enabled-predicate.
 
-The telemetry contract (docs/OBSERVABILITY.md, "Overhead") is that a
-disabled run pays **one predicate check per access** and nothing else:
-no event-payload formatting, no attribute chasing, no dead keyword
-construction.  That only holds if every ``<x>.emit(...)`` call site sits
-inside an ``if <x> is not None`` (or truthiness) guard on the telemetry
-handle -- the handle is ``None`` whenever no collector is bound, so an
-unguarded call is *also* a latent ``AttributeError`` on every untraced
-run that reaches it.
+The observability contract (docs/OBSERVABILITY.md, "Overhead") is that a
+disabled run pays **one predicate check** per instrumented site and
+nothing else: no event-payload formatting, no attribute chasing, no dead
+keyword construction.  That only holds if every ``<x>.emit(...)`` call
+site sits inside an ``if <x> is not None`` (or truthiness) guard on the
+telemetry handle -- the handle is ``None`` whenever no collector is
+bound, so an unguarded call is *also* a latent ``AttributeError`` on
+every untraced run that reaches it.
 
-The rule finds calls of ``emit`` on a telemetry-valued expression (a
-bare name containing ``telemetry`` or any ``.telemetry`` attribute) and
-requires an enclosing ``if``/``while``/ternary whose test mentions that
-telemetry value, either as ``... is not None`` or as a plain truthiness
-check.
+The phase profiler (:mod:`repro.obs.profile`) follows the same
+discipline: ``<profiler>.enter(...)``, ``.exit(...)`` and ``.timed(...)``
+sites in simulator code must sit behind ``if <profiler> is not None`` --
+the handle is ``None`` on every unprofiled run, and phase brackets must
+cost one predicate per phase *transition*, never per access.
+
+The rule finds calls of the watched methods on a handle-valued
+expression (a bare name or attribute whose name contains ``telemetry``
+resp. ``profil``) and requires an enclosing ``if``/``while``/ternary
+whose test mentions that same kind of handle, either as ``... is not
+None`` or as a plain truthiness check.
 """
 
 from __future__ import annotations
@@ -27,33 +33,46 @@ from repro.lint.registry import Rule, register
 from repro.lint.rules.scope import SIMULATOR_SCOPE
 from repro.lint.visitor import LintVisitor, is_none_constant
 
+#: Watched handles: name substring -> method names whose call sites must
+#: be guarded on that handle.
+_HANDLES = {
+    "telemetry": frozenset({"emit"}),
+    "profil": frozenset({"enter", "exit", "timed"}),
+}
 
-def is_telemetry_expr(node: ast.AST) -> bool:
-    """Does ``node`` (an emit receiver or a guard test) denote the
-    telemetry handle?"""
+
+def _is_handle_expr(node: ast.AST, marker: str) -> bool:
+    """Does ``node`` (a call receiver or a guard test) denote the
+    observability handle named by ``marker``?"""
     for n in ast.walk(node):
-        if isinstance(n, ast.Attribute) and "telemetry" in n.attr:
+        if isinstance(n, ast.Attribute) and marker in n.attr:
             return True
-        if isinstance(n, ast.Name) and "telemetry" in n.id:
+        if isinstance(n, ast.Name) and marker in n.id:
             return True
     return False
 
 
-def _test_guards_telemetry(test: ast.expr) -> bool:
-    """Does an ``if`` test establish that the telemetry handle is live?"""
+def is_telemetry_expr(node: ast.AST) -> bool:
+    """Does ``node`` denote the telemetry handle?  (Shared with the
+    event-schema rule.)"""
+    return _is_handle_expr(node, "telemetry")
+
+
+def _test_guards_handle(test: ast.expr, marker: str) -> bool:
+    """Does an ``if`` test establish that the handle is live?"""
     if isinstance(test, ast.Compare):
         if (
             len(test.ops) == 1
             and isinstance(test.ops[0], ast.IsNot)
             and is_none_constant(test.comparators[0])
-            and is_telemetry_expr(test.left)
+            and _is_handle_expr(test.left, marker)
         ):
             return True
     if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
-        return any(_test_guards_telemetry(v) for v in test.values)
-    # Plain truthiness: ``if telemetry:`` / ``if self.telemetry:``.
+        return any(_test_guards_handle(v, marker) for v in test.values)
+    # Plain truthiness: ``if telemetry:`` / ``if self.profiler:``.
     if isinstance(test, (ast.Name, ast.Attribute)):
-        return is_telemetry_expr(test)
+        return _is_handle_expr(test, marker)
     return False
 
 
@@ -62,21 +81,28 @@ class _GuardVisitor(LintVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr == "emit"
-            and is_telemetry_expr(func.value)
-        ):
-            if not self._guarded(node):
-                self.report(
-                    node,
-                    "telemetry emit() outside an 'is not None' guard: "
-                    "the disabled path must cost one predicate check, "
-                    "and the handle is None on untraced runs",
-                )
+        if isinstance(func, ast.Attribute):
+            for marker, methods in _HANDLES.items():
+                if (
+                    func.attr in methods
+                    and _is_handle_expr(func.value, marker)
+                ):
+                    if not self._guarded(node, marker):
+                        kind = (
+                            "telemetry" if marker == "telemetry"
+                            else "profiler"
+                        )
+                        self.report(
+                            node,
+                            f"{kind} {func.attr}() outside an 'is not "
+                            f"None' guard: the disabled path must cost "
+                            f"one predicate check, and the handle is "
+                            f"None on un-instrumented runs",
+                        )
+                    break
         self.generic_visit(node)
 
-    def _guarded(self, node: ast.Call) -> bool:
+    def _guarded(self, node: ast.Call, marker: str) -> bool:
         # Walk the ancestor path outward; a guard only counts when the
         # call lives in the *body* of the guarded branch (an emit in the
         # else-branch of its own guard is still unguarded).
@@ -88,12 +114,15 @@ class _GuardVisitor(LintVisitor):
                 # Guards do not cross function boundaries.
                 return False
             if isinstance(anc, (ast.If, ast.While)):
-                if _test_guards_telemetry(anc.test) and any(
+                if _test_guards_handle(anc.test, marker) and any(
                     child is stmt for stmt in anc.body
                 ):
                     return True
             elif isinstance(anc, ast.IfExp):
-                if _test_guards_telemetry(anc.test) and child is anc.body:
+                if (
+                    _test_guards_handle(anc.test, marker)
+                    and child is anc.body
+                ):
                     return True
         return False
 
@@ -102,8 +131,9 @@ class _GuardVisitor(LintVisitor):
 class TelemetryGuardRule(Rule):
     rule_id = "telemetry-guard"
     description = (
-        "every telemetry emit() call must sit behind the enabled-"
-        "predicate so the disabled hot path stays one check per access"
+        "every telemetry emit() and profiler enter()/exit()/timed() call "
+        "must sit behind the enabled-predicate so the disabled hot path "
+        "stays one check per site"
     )
     scope_dirs = SIMULATOR_SCOPE
 

@@ -1,0 +1,262 @@
+"""The run ledger: an append-only JSONL provenance record of every run.
+
+Every completed simulation -- a fresh execution, a memo hit, a disk-
+cache hit, a direct :func:`~repro.sim.engine.run_workload` call --
+appends one :class:`LedgerRecord` line to ``<cache_dir>/ledger.jsonl``.
+The ledger is the fleet's flight recorder: what ran, under which recipe
+key and configuration digest, on which engine, how fast, whether the
+invariant auditor complained, and where the result came from.  The
+``repro obs`` CLI, the metrics registry and the perf-regression checker
+all consume it.
+
+Properties:
+
+* **Atomic appends.**  Each record is one ``os.write`` on an
+  ``O_APPEND`` descriptor, so concurrent writers (``run_many`` worker
+  merges racing a second process) interleave whole lines, never
+  fragments.
+* **Never breaks a run.**  Append failures (read-only cache dir, full
+  disk) are swallowed; the ledger is observability, not a dependency.
+* **Byte-stable round-trip.**  ``to_json_line`` serialises with sorted
+  keys; ``from_json_line(line).to_json_line() == line`` for any line
+  the writer produced, and :meth:`LedgerRecord.from_dict` validates
+  keys both ways in the ``config_io`` style.
+* **Opt-out.**  ``REPRO_LEDGER=off`` disables appends; reads are
+  unaffected.  The path rides ``REPRO_CACHE_DIR``, so test isolation
+  of the result cache isolates the ledger for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.params import ConfigError
+
+#: Schema version embedded in every record; bump on field changes so
+#: readers can skip (or upgrade) foreign-era lines explicitly.
+LEDGER_VERSION = 1
+
+_LEDGER_NAME = "ledger.jsonl"
+
+
+def ledger_enabled() -> bool:
+    """Appends are on unless REPRO_LEDGER is off/0/false/no."""
+    return os.environ.get("REPRO_LEDGER", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def ledger_path() -> Path:
+    """The ledger lives next to the result cache it describes."""
+    from repro.sim.parallel import cache_dir
+
+    return cache_dir() / _LEDGER_NAME
+
+
+def config_digest(config: Any) -> str:
+    """Stable content hash of a :class:`~repro.params.SystemConfig`
+    (sha256 over the sorted ``config_io`` dict form)."""
+    from repro.config_io import config_to_dict
+
+    preimage = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(preimage.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One completed run, as recorded in the ledger.
+
+    ``source`` is the resolution provenance (``"run"`` fresh under
+    ``run_many``/``fetch_or_run``, ``"memo"``/``"disk"`` cache hits,
+    ``"direct"`` for a plain ``run_workload`` call); ``cache_hit``
+    folds that to a boolean.  ``wall_s``/``accesses_per_s`` are zero
+    for cache hits (the stored result carries no new timing).  The
+    field set is pinned three ways by the ``ledger-schema-sync`` lint
+    rule: this dataclass, the keyword-complete constructor call in
+    :func:`record_from_result`, and the field table in
+    ``docs/OBSERVABILITY.md``.
+    """
+
+    version: int
+    ts: float
+    recipe_key: str
+    workload: str
+    workload_fingerprint: str
+    scheme: str
+    policy: str
+    scheduling: str
+    engine: str
+    config_digest: str
+    source: str
+    cache_hit: bool
+    trace_path: str
+    resumed_from: str
+    wall_s: float
+    accesses: int
+    accesses_per_s: float
+    cycles: int
+    audit_violations: int
+    telemetry_samples: int
+    telemetry_events: int
+    profile_phases: dict
+    host_cpus: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LedgerRecord":
+        if not isinstance(data, dict):
+            raise ConfigError("ledger record must be a JSON object")
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ConfigError(
+                f"unknown ledger-record keys: {sorted(unknown)}"
+            )
+        missing = names - set(data)
+        if missing:
+            raise ConfigError(
+                f"ledger record needs keys: {sorted(missing)}"
+            )
+        return cls(**data)
+
+    def to_json_line(self) -> str:
+        """Canonical single-line JSON form (sorted keys, no newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "LedgerRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad ledger line: {exc}") from exc
+        return cls.from_dict(data)
+
+    @property
+    def short_key(self) -> str:
+        return self.recipe_key[:8] if self.recipe_key else "--------"
+
+
+def record_from_result(
+    *,
+    recipe_key: str,
+    result: Any,
+    source: str,
+    wall_s: float,
+    config: Any,
+    workload_fingerprint: str = "",
+    scheduling: str = "timing",
+    trace_path: str = "",
+    resumed_from: str = "",
+) -> LedgerRecord:
+    """Build the ledger record for one completed run.
+
+    Every :class:`LedgerRecord` field is passed as an explicit keyword
+    below -- the ``ledger-schema-sync`` lint rule checks that this
+    construction site covers the full schema, so a new field cannot be
+    added to the dataclass without deciding what writers record for it.
+    """
+    audit = result.audit
+    telemetry = result.telemetry
+    profile = result.profile
+    accesses = result.stats.total_accesses
+    fresh = source in ("run", "direct")
+    rate = (
+        accesses / wall_s if fresh and wall_s > 0 and accesses else 0.0
+    )
+    return LedgerRecord(
+        version=LEDGER_VERSION,
+        ts=time.time(),
+        recipe_key=recipe_key,
+        workload=result.workload,
+        workload_fingerprint=workload_fingerprint,
+        scheme=result.scheme,
+        policy=result.policy,
+        scheduling=scheduling,
+        engine=getattr(config, "engine", "object"),
+        config_digest=config_digest(config),
+        source=source,
+        cache_hit=not fresh,
+        trace_path=trace_path,
+        resumed_from=resumed_from,
+        wall_s=wall_s if fresh else 0.0,
+        accesses=accesses,
+        accesses_per_s=rate,
+        cycles=result.cycles,
+        audit_violations=(
+            len(audit.violations) if audit is not None else 0
+        ),
+        telemetry_samples=(
+            len(telemetry.series) if telemetry is not None else 0
+        ),
+        telemetry_events=(
+            len(telemetry.events) if telemetry is not None else 0
+        ),
+        profile_phases=(
+            dict(profile.phase_s) if profile is not None else {}
+        ),
+        host_cpus=os.cpu_count() or 1,
+    )
+
+
+def append_record(
+    record: LedgerRecord, path: Optional[Path] = None
+) -> bool:
+    """Atomically append one record; returns whether a line was written.
+
+    A single ``write(2)`` on an ``O_APPEND`` descriptor appends the
+    whole line atomically with respect to concurrent appenders.  Any
+    OS-level failure is swallowed: the ledger must never fail a run.
+    """
+    if not ledger_enabled():
+        return False
+    target = Path(path) if path is not None else ledger_path()
+    line = record.to_json_line() + "\n"
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            target, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+    except OSError:
+        return False
+    return True
+
+
+def iter_ledger(
+    path: Optional[Path] = None, strict: bool = False
+) -> Iterator[LedgerRecord]:
+    """Yield records oldest-first; unparsable lines are skipped unless
+    ``strict`` (a torn final line from a crashed writer must not brick
+    the whole ledger)."""
+    target = Path(path) if path is not None else ledger_path()
+    try:
+        text = target.read_text()
+    except OSError:
+        return
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            yield LedgerRecord.from_json_line(line)
+        except ConfigError:
+            if strict:
+                raise
+
+
+def read_ledger(
+    path: Optional[Path] = None, strict: bool = False
+) -> list:
+    """All ledger records, oldest-first."""
+    return list(iter_ledger(path, strict=strict))

@@ -1,0 +1,256 @@
+"""Deterministic phase profiler (``SimResult.profile``).
+
+Answers "where did this run spend its time" without touching the hot
+path when disabled.  Two complementary views:
+
+* **Phase timers** -- the engine brackets its coarse phases (trace
+  ``decode``, the ``access_loop``, the ``audit`` and ``telemetry``
+  hooks, the end-of-run ``flush``) with :meth:`PhaseProfiler.enter` /
+  :meth:`PhaseProfiler.exit`.  Wall-clock reads happen *here*, outside
+  the simulator scope, so the determinism lint rule stays clean; the
+  engine only ever calls methods on the profiler handle, and every call
+  site sits behind an ``if profiler is not None`` guard (the same
+  discipline -- and the same lint rule -- as telemetry emission), so
+  the disabled path costs one predicate check.
+
+* **Counter attribution** -- a deterministic hot-path breakdown derived
+  purely from the run's own counters (which level each access
+  terminated at, weighted by configured latency).  Identical for
+  cached and fresh executions of the same recipe, on both engines.
+
+``ProfileParams`` lives in :class:`~repro.params.SystemConfig` and is
+serialised by ``config_io``, so profiling participates in the recipe
+cache key exactly like audit/telemetry settings: a profiled run never
+aliases a plain run.  Resolution precedence mirrors
+:func:`~repro.sim.audit.resolve_audit`: explicit argument >
+``REPRO_PROFILE`` environment variable > ``config.profile``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.params import ConfigError, ProfileParams
+
+#: Phases the engines bracket, in execution order.  ``access_loop`` is
+#: inclusive of the per-access ``audit``/``telemetry`` hook time (the
+#: hooks run inside the loop); the hook phases break that share out.
+PROFILE_PHASES = ("decode", "access_loop", "audit", "telemetry", "flush")
+
+_OFF_TOKENS = ("off", "0", "false", "no")
+
+
+def parse_profile_spec(spec: Optional[str]) -> ProfileParams:
+    """Parse a profile spec string (``"on"``/``"off"``) into
+    :class:`ProfileParams`."""
+    if spec is None:
+        return ProfileParams()
+    token = spec.strip().lower()
+    if not token or token == "on" or token == "1" or token == "true":
+        return ProfileParams(enabled=True)
+    if token in _OFF_TOKENS:
+        return ProfileParams(enabled=False)
+    raise ConfigError(
+        f"bad profile spec {spec!r}; expected 'on' or 'off'"
+    )
+
+
+def profile_params_from_env() -> Optional[ProfileParams]:
+    spec = os.environ.get("REPRO_PROFILE")
+    if spec is None or not spec.strip():
+        return None
+    return parse_profile_spec(spec)
+
+
+def resolve_profile(
+    explicit: Any, config_profile: Optional[ProfileParams] = None
+) -> ProfileParams:
+    """Resolve the profiler settings for one run.
+
+    Precedence mirrors :func:`repro.sim.audit.resolve_audit`: an
+    explicit argument (:class:`ProfileParams` or a spec string) wins;
+    else ``REPRO_PROFILE``; else the configuration's own ``profile``
+    field (default: disabled)."""
+    if explicit is not None:
+        if isinstance(explicit, ProfileParams):
+            return explicit
+        if isinstance(explicit, str):
+            return parse_profile_spec(explicit)
+        raise TypeError(
+            f"profile must be ProfileParams or a spec string, "
+            f"got {type(explicit).__name__}"
+        )
+    env = profile_params_from_env()
+    if env is not None:
+        return env
+    return (
+        config_profile if config_profile is not None else ProfileParams()
+    )
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """One run's phase profile (picklable, cached with the SimResult).
+
+    ``phase_s`` maps phase name to accumulated wall seconds;
+    ``phase_calls`` counts enter/exit (or wrapped-hook) invocations per
+    phase; ``attribution`` is the deterministic counter-derived
+    breakdown (level-termination shares weighted by configured
+    latency, summing to 1.0 when the run had any access)."""
+
+    engine: str
+    phase_s: dict = field(default_factory=dict)
+    phase_calls: dict = field(default_factory=dict)
+    attribution: dict = field(default_factory=dict)
+    total_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "phase_s": dict(self.phase_s),
+            "phase_calls": dict(self.phase_calls),
+            "attribution": dict(self.attribution),
+            "total_s": self.total_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileResult":
+        if not isinstance(data, dict):
+            raise ConfigError("profile result must be a JSON object")
+        known = {"engine", "phase_s", "phase_calls", "attribution",
+                 "total_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown profile-result keys: {sorted(unknown)}"
+            )
+        missing = known - set(data)
+        if missing:
+            raise ConfigError(
+                f"profile result needs keys: {sorted(missing)}"
+            )
+        return cls(
+            engine=data["engine"],
+            phase_s=dict(data["phase_s"]),
+            phase_calls=dict(data["phase_calls"]),
+            attribution=dict(data["attribution"]),
+            total_s=data["total_s"],
+        )
+
+    def summary(self) -> str:
+        """One line for :func:`repro.sim.report.describe_result`."""
+        phases = sorted(
+            self.phase_s.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        parts = [
+            f"{name} {seconds:.3f}s" for name, seconds in phases
+        ]
+        hot = sorted(
+            self.attribution.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        if hot:
+            parts.append(
+                "hot: " + " ".join(
+                    f"{name} {share:.0%}" for name, share in hot[:3]
+                )
+            )
+        return f"profile ({self.engine}): " + " | ".join(parts)
+
+
+class PhaseProfiler:
+    """Accumulates wall time per named phase for one run.
+
+    Tolerates nesting (the hook phases run inside ``access_loop``) and
+    unbalanced ``exit`` calls (ignored) so an engine bail-out -- e.g. a
+    :class:`~repro.sim.checkpoint.SimulationInterrupted` -- never turns
+    into a profiler error."""
+
+    __slots__ = ("phase_s", "phase_calls", "_open", "_t0")
+
+    def __init__(self) -> None:
+        self.phase_s: dict = {}
+        self.phase_calls: dict = {}
+        self._open: dict = {}
+        self._t0 = time.perf_counter()
+
+    def enter(self, phase: str) -> None:
+        self._open[phase] = time.perf_counter()
+
+    def exit(self, phase: str) -> None:
+        t0 = self._open.pop(phase, None)
+        if t0 is None:
+            return
+        self.phase_s[phase] = (
+            self.phase_s.get(phase, 0.0) + time.perf_counter() - t0
+        )
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
+    def timed(self, phase: str, fn: Callable) -> Callable:
+        """Wrap a per-access hook so its calls accumulate under
+        ``phase``.  Only installed when profiling is enabled -- the
+        unprofiled hook path is untouched."""
+        phase_s = self.phase_s
+        phase_calls = self.phase_calls
+        perf_counter = time.perf_counter
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                phase_s[phase] = (
+                    phase_s.get(phase, 0.0) + perf_counter() - t0
+                )
+                phase_calls[phase] = phase_calls.get(phase, 0) + 1
+
+        return wrapper
+
+    def finalize(self, engine: str, stats: Any = None,
+                 config: Any = None) -> ProfileResult:
+        """Close out the run: total wall time plus the counter-derived
+        attribution (see :func:`counter_attribution`)."""
+        attribution: dict = {}
+        if stats is not None:
+            attribution = counter_attribution(stats, config)
+        return ProfileResult(
+            engine=engine,
+            phase_s=dict(self.phase_s),
+            phase_calls=dict(self.phase_calls),
+            attribution=attribution,
+            total_s=time.perf_counter() - self._t0,
+        )
+
+
+def counter_attribution(stats: Any, config: Any = None) -> dict:
+    """Deterministic hot-path shares from a run's own counters.
+
+    Each access terminates at exactly one level (L1 hit, L2 hit, LLC
+    hit, or a memory fill); weighting each terminal population by its
+    configured access latency estimates where the access loop's work
+    went, using nothing but the counters both engines already maintain
+    -- so the attribution is bit-identical across engines and across
+    cached/fresh executions of the same recipe."""
+    l1_hits = sum(c.l1_hits for c in stats.cores)
+    l2_hits = sum(c.l2_hits for c in stats.cores)
+    llc_hits = stats.llc_hits
+    fills = stats.llc_misses
+    if config is not None:
+        w1 = config.l1.latency
+        w2 = config.l1.latency + config.l2.latency
+        w3 = w2 + config.llc.tag_latency + config.llc.data_latency
+        w4 = w3 + config.dram.row_miss_latency
+    else:
+        w1, w2, w3, w4 = 1, 2, 3, 4
+    weighted = {
+        "l1_hit": l1_hits * w1,
+        "l2_hit": l2_hits * w2,
+        "llc_hit": llc_hits * w3,
+        "dram_fill": fills * w4,
+    }
+    total = sum(weighted.values())
+    if total <= 0:
+        return {}
+    return {name: value / total for name, value in weighted.items()}

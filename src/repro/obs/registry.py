@@ -1,0 +1,230 @@
+"""Metrics registry + Prometheus/JSON exporters over the run ledger.
+
+Aggregates :class:`~repro.obs.ledger.LedgerRecord` history (and,
+optionally, live :class:`~repro.sim.telemetry.RunProgress` heartbeats)
+into named, labelled metrics, then exports them in Prometheus
+text-exposition format or JSON.  A future simulation service scrapes
+these unchanged; today the ``repro obs export`` CLI serves them to
+files/stdout.
+
+Export round-trip is exact: integer samples are written as integers,
+float samples via ``repr`` (Python's shortest-round-trip formatting),
+so ``parse_prometheus(registry.to_prometheus())`` reproduces every
+value bit-identically -- asserted by the test suite and the obs-smoke
+CI job.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+_VALID_KINDS = ("counter", "gauge")
+
+Labels = "tuple[tuple[str, str], ...]"
+
+
+def _labels(items: Optional[dict] = None) -> tuple:
+    return tuple(sorted((items or {}).items()))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class Metric:
+    """One named metric: kind, help text, and labelled samples."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        if kind not in _VALID_KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: dict = {}  # labels tuple -> numeric value
+
+    def inc(self, labels: tuple, amount: Any) -> None:
+        self.samples[labels] = self.samples.get(labels, 0) + amount
+
+    def set(self, labels: tuple, value: Any) -> None:
+        self.samples[labels] = value
+
+
+class MetricsRegistry:
+    """A small, dependency-free registry in the Prometheus data model."""
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+
+    def counter(self, name: str, help_text: str) -> Metric:
+        return self._declare(name, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str) -> Metric:
+        return self._declare(name, "gauge", help_text)
+
+    def _declare(self, name: str, kind: str, help_text: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Metric(name, kind, help_text)
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already declared as {metric.kind}"
+            )
+        return metric
+
+    def inc(self, name: str, labels: Optional[dict] = None,
+            amount: Any = 1) -> None:
+        self._metrics[name].inc(_labels(labels), amount)
+
+    def set(self, name: str, labels: Optional[dict] = None,
+            value: Any = 0) -> None:
+        self._metrics[name].set(_labels(labels), value)
+
+    def value(self, name: str, labels: Optional[dict] = None) -> Any:
+        """One sample's current value (None when never observed)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        return metric.samples.get(_labels(labels))
+
+    # -- live fleet progress ----------------------------------------------
+
+    def observe_progress(self, p: Any) -> None:
+        """Fold one :class:`~repro.sim.telemetry.RunProgress` heartbeat
+        into the live fleet gauges (idempotent per heartbeat: gauges are
+        set, not incremented)."""
+        fleet = {}  # single unlabelled series
+        self.gauge("repro_fleet_completed",
+                   "recipes resolved so far in the current run_many")
+        self.gauge("repro_fleet_total",
+                   "recipes submitted to the current run_many")
+        self.gauge("repro_fleet_simulated",
+                   "fresh simulations among the resolved recipes")
+        self.gauge("repro_fleet_accesses_per_s",
+                   "aggregate simulated accesses/second (fresh runs)")
+        self.set("repro_fleet_completed", fleet, p.completed)
+        self.set("repro_fleet_total", fleet, p.total)
+        self.set("repro_fleet_simulated", fleet, p.simulated)
+        self.set("repro_fleet_accesses_per_s", fleet, p.accesses_per_s)
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for labels in sorted(metric.samples):
+                value = metric.samples[labels]
+                if labels:
+                    rendered = ",".join(
+                        f'{k}="{v}"' for k, v in labels
+                    )
+                    series = f"{name}{{{rendered}}}"
+                else:
+                    series = name
+                lines.append(f"{series} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """JSON export mirroring the Prometheus series set exactly."""
+        out = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": [
+                    {"labels": dict(labels), "value": value}
+                    for labels, value in sorted(metric.samples.items())
+                ],
+            }
+        return json.dumps(out, sort_keys=True, indent=2)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition back to ``{(name, labels): value}``.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus` for the subset
+    that exporter emits; used by the round-trip tests and the smoke
+    job."""
+    out: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, raw = line.rpartition(" ")
+        if "{" in series:
+            name, _, rest = series.partition("{")
+            body = rest.rstrip("}")
+            labels = []
+            for pair in body.split(","):
+                if not pair:
+                    continue
+                key, _, quoted = pair.partition("=")
+                labels.append((key, quoted.strip('"')))
+            key_t = (name, tuple(sorted(labels)))
+        else:
+            key_t = (series, ())
+        value = float(raw)
+        out[key_t] = int(value) if value.is_integer() else value
+    return out
+
+
+def registry_from_ledger(records: Iterable) -> MetricsRegistry:
+    """Aggregate ledger records into the standard fleet metrics."""
+    reg = MetricsRegistry()
+    reg.counter("repro_runs_total",
+                "completed runs by resolution source and engine")
+    reg.counter("repro_simulated_accesses_total",
+                "accesses simulated by fresh runs, by engine")
+    reg.counter("repro_wall_seconds_total",
+                "wall time spent in fresh simulations, by engine")
+    reg.counter("repro_audit_violations_total",
+                "invariant-audit violations recorded, by engine")
+    reg.counter("repro_telemetry_events_total",
+                "telemetry events traced, by engine")
+    reg.counter("repro_profile_phase_seconds_total",
+                "profiled wall seconds by phase and engine")
+    reg.gauge("repro_last_accesses_per_s",
+              "throughput of the most recent fresh run, by engine")
+    reg.gauge("repro_best_accesses_per_s",
+              "best fresh-run throughput on record, by engine")
+    reg.gauge("repro_ledger_records",
+              "ledger records aggregated into this export")
+    count = 0
+    for rec in records:
+        count += 1
+        engine = {"engine": rec.engine}
+        reg.inc("repro_runs_total",
+                {"engine": rec.engine, "source": rec.source})
+        if rec.audit_violations:
+            reg.inc("repro_audit_violations_total", engine,
+                    rec.audit_violations)
+        if rec.telemetry_events:
+            reg.inc("repro_telemetry_events_total", engine,
+                    rec.telemetry_events)
+        for phase, seconds in sorted(rec.profile_phases.items()):
+            reg.inc("repro_profile_phase_seconds_total",
+                    {"engine": rec.engine, "phase": phase}, seconds)
+        if rec.cache_hit:
+            continue
+        reg.inc("repro_simulated_accesses_total", engine, rec.accesses)
+        reg.inc("repro_wall_seconds_total", engine, rec.wall_s)
+        if rec.accesses_per_s:
+            reg.set("repro_last_accesses_per_s", engine,
+                    rec.accesses_per_s)
+            best = reg.value("repro_best_accesses_per_s", engine)
+            if best is None or rec.accesses_per_s > best:
+                reg.set("repro_best_accesses_per_s", engine,
+                        rec.accesses_per_s)
+    reg.set("repro_ledger_records", None, count)
+    return reg

@@ -1,0 +1,290 @@
+"""Perf-regression tracking against BENCH history and the run ledger.
+
+Two comparison legs, both throughput-shaped and both direction-aware:
+
+* **Bench vs history** -- a freshly produced benchmark report (same
+  JSON shape ``scripts/check_bench.py`` validates) against every
+  committed ``BENCH_*.json`` with the same ``bench`` name.  Absolute
+  rates only transfer between identical hosts, so a comparison is
+  *skipped with a reason* whenever the ``cpus`` fields differ -- CI
+  boxes never falsely fail against the author's bench machine, while a
+  same-host rerun gets a real gate.
+
+* **Ledger vs ledger** -- the most recent fresh run per engine against
+  the best fresh throughput on record for that engine on this host.
+  This is the leg that catches "the code got slower" without anyone
+  re-running a benchmark script: the ledger accumulates rates as a
+  side effect of normal work.
+
+Metric direction is inferred from the key: ``*_per_s`` and
+``*speedup*`` are higher-better, ``*overhead*`` lower-better; keys
+with no recognised direction are ignored.  A regression is a change
+worse than ``threshold`` (default 20%) in the bad direction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+#: Default regression threshold: fractional change in the bad direction.
+DEFAULT_THRESHOLD = 0.2
+
+#: Ledger comparisons ignore runs smaller than this many accesses --
+#: tiny smoke runs measure pool/startup noise, not engine throughput.
+MIN_LEDGER_ACCESSES = 20000
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"higher"``/``"lower"``-is-better, or None (not comparable)."""
+    lowered = key.lower()
+    if "overhead" in lowered:
+        return "lower"
+    if lowered.endswith("_per_s") or "speedup" in lowered:
+        return "higher"
+    return None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One baseline-vs-current check (or a skip, with its reason)."""
+
+    name: str
+    baseline: float = 0.0
+    current: float = 0.0
+    direction: str = "higher"
+    change: float = 0.0  # signed fraction; positive = improvement
+    regressed: bool = False
+    skipped: bool = False
+    reason: str = ""
+
+    def describe(self) -> str:
+        if self.skipped:
+            return f"SKIP  {self.name}: {self.reason}"
+        arrow = "+" if self.change >= 0 else ""
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{verdict:9s} {self.name}: {self.baseline:g} -> "
+            f"{self.current:g} ({arrow}{100.0 * self.change:.1f}%, "
+            f"{self.direction} is better)"
+        )
+
+
+def compare_value(
+    name: str,
+    baseline: float,
+    current: float,
+    direction: str,
+    threshold: float,
+) -> Comparison:
+    if baseline <= 0:
+        return Comparison(
+            name=name, skipped=True,
+            reason=f"non-positive baseline {baseline!r}",
+        )
+    if direction == "higher":
+        change = (current - baseline) / baseline
+    else:
+        change = (baseline - current) / baseline
+    return Comparison(
+        name=name,
+        baseline=baseline,
+        current=current,
+        direction=direction,
+        change=change,
+        regressed=change < -threshold,
+    )
+
+
+def load_bench_file(path: Any) -> dict:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: bench report must be a JSON object")
+    return data
+
+
+def compare_bench(
+    current: dict,
+    history: "Iterable[tuple[str, dict]]",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list:
+    """Compare a current bench report against named historical reports.
+
+    Only reports with the same ``bench`` family are compared; within a
+    family, a ``cpus`` mismatch skips the whole report (absolute rates
+    do not transfer across hosts), otherwise every shared key with a
+    recognised direction is checked."""
+    out = []
+    bench = current.get("bench")
+    for name, baseline in history:
+        if baseline.get("bench") != bench:
+            continue
+        base_cpus = baseline.get("cpus")
+        cur_cpus = current.get("cpus")
+        if base_cpus != cur_cpus:
+            out.append(Comparison(
+                name=f"{name}", skipped=True,
+                reason=(
+                    f"host cpus differ (baseline {base_cpus}, "
+                    f"current {cur_cpus}); absolute rates not "
+                    f"comparable"
+                ),
+            ))
+            continue
+        for key in sorted(set(baseline) & set(current)):
+            direction = metric_direction(key)
+            if direction is None:
+                continue
+            base_v = baseline[key]
+            cur_v = current[key]
+            if not isinstance(base_v, (int, float)) or isinstance(
+                base_v, bool
+            ):
+                continue
+            if not isinstance(cur_v, (int, float)) or isinstance(
+                cur_v, bool
+            ):
+                continue
+            out.append(compare_value(
+                f"{name}:{key}", float(base_v), float(cur_v),
+                direction, threshold,
+            ))
+    return out
+
+
+def compare_history(
+    history: "Iterable[tuple[str, dict]]",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list:
+    """Internal consistency of the committed bench history: within each
+    bench family (same ``bench`` value, same ``cpus``), the newest
+    report must not regress against the best earlier one.  Catches a
+    slower re-benchmark being committed on top of a faster history."""
+    families: dict = {}
+    for name, report in history:
+        families.setdefault(report.get("bench"), []).append(
+            (name, report)
+        )
+    out = []
+    for bench in sorted(k for k in families if k is not None):
+        reports = sorted(families[bench])
+        if len(reports) < 2:
+            continue
+        newest_name, newest = reports[-1]
+        out.extend(compare_bench(
+            newest,
+            [r for r in reports[:-1]],
+            threshold,
+        ))
+    return out
+
+
+def compare_ledger(
+    records: Iterable,
+    threshold: float = DEFAULT_THRESHOLD,
+    host_cpus: Optional[int] = None,
+    min_accesses: int = MIN_LEDGER_ACCESSES,
+) -> list:
+    """Latest fresh run per engine vs the best prior rate on this host."""
+    if host_cpus is None:
+        host_cpus = os.cpu_count() or 1
+    by_engine: dict = {}
+    for rec in records:
+        if rec.cache_hit or not rec.accesses_per_s:
+            continue
+        if rec.host_cpus != host_cpus:
+            continue
+        if rec.accesses < min_accesses:
+            continue
+        by_engine.setdefault(rec.engine, []).append(rec)
+    out = []
+    for engine in sorted(by_engine):
+        runs = by_engine[engine]
+        if len(runs) < 2:
+            out.append(Comparison(
+                name=f"ledger:{engine}:accesses_per_s", skipped=True,
+                reason=(
+                    f"need >= 2 comparable fresh runs on this host "
+                    f"(have {len(runs)})"
+                ),
+            ))
+            continue
+        current = runs[-1]
+        baseline = max(r.accesses_per_s for r in runs[:-1])
+        out.append(compare_value(
+            f"ledger:{engine}:accesses_per_s",
+            baseline, current.accesses_per_s, "higher", threshold,
+        ))
+    return out
+
+
+@dataclass
+class RegressReport:
+    """Everything one ``obs regress`` invocation decided."""
+
+    comparisons: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def checked(self) -> list:
+        return [c for c in self.comparisons if not c.skipped]
+
+    def exit_code(self, check: bool = False) -> int:
+        """0 clean, 1 regression (or a vacuous ``--check`` gate with
+        nothing comparable), 2 unreadable inputs."""
+        if self.errors:
+            return 2
+        if self.regressions:
+            return 1
+        if check and not self.checked:
+            return 1
+        return 0
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.comparisons]
+        for err in self.errors:
+            lines.append(f"ERROR {err}")
+        checked = len(self.checked)
+        skipped = len(self.comparisons) - checked
+        lines.append(
+            f"regress: {checked} comparison(s), "
+            f"{len(self.regressions)} regression(s), "
+            f"{skipped} skipped"
+        )
+        return "\n".join(lines)
+
+
+def run_regress(
+    ledger_records: Iterable = (),
+    bench_paths: Iterable = (),
+    current_bench: Optional[dict] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    host_cpus: Optional[int] = None,
+    min_accesses: int = MIN_LEDGER_ACCESSES,
+) -> RegressReport:
+    """Run both comparison legs; never raises for bad inputs (they land
+    in ``report.errors`` and exit code 2)."""
+    report = RegressReport()
+    history = []
+    for path in bench_paths:
+        try:
+            history.append((Path(path).name, load_bench_file(path)))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            report.errors.append(f"{path}: {exc}")
+    if current_bench is not None:
+        report.comparisons.extend(
+            compare_bench(current_bench, history, threshold)
+        )
+    elif history:
+        report.comparisons.extend(compare_history(history, threshold))
+    report.comparisons.extend(compare_ledger(
+        ledger_records, threshold, host_cpus, min_accesses
+    ))
+    return report

@@ -24,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.profile import PhaseProfiler, ProfileResult, resolve_profile
 from repro.sim.audit import AuditReport, InvariantAuditor, resolve_audit
 from repro.sim.checkpoint import (
     CHECKPOINT_VERSION,
@@ -63,6 +64,7 @@ class SimResult:
     scheme_stats: Optional[dict] = None
     audit: Optional[AuditReport] = None
     telemetry: Optional[TelemetryResult] = None
+    profile: Optional[ProfileResult] = None
 
     @property
     def ipc_per_core(self) -> list[float]:
@@ -83,6 +85,7 @@ class Simulation:
         llc_policy_name: Optional[str] = None,
         audit=None,
         telemetry=None,
+        profile=None,
     ) -> None:
         if scheduling not in ("timing", "lockstep"):
             raise ValueError(f"unknown scheduling mode {scheduling!r}")
@@ -103,6 +106,11 @@ class Simulation:
         # order (explicit > REPRO_TELEMETRY > config.telemetry).
         self.telemetry_params = resolve_telemetry(
             telemetry, hierarchy.config.telemetry
+        )
+        # ``profile``: ProfileParams or a spec string ("on"/"off"); same
+        # resolution order (explicit > REPRO_PROFILE > config.profile).
+        self.profile_params = resolve_profile(
+            profile, getattr(hierarchy.config, "profile", None)
         )
 
     def run(
@@ -169,6 +177,16 @@ class Simulation:
                 if self.telemetry_params.enabled
                 else None
             )
+        # The phase profiler follows the telemetry discipline exactly:
+        # the handle is None unless profiling was requested, every
+        # engine-side use sits behind one ``is not None`` predicate
+        # (enforced by the telemetry-guard lint rule), and the disabled
+        # path therefore costs one check per phase transition -- never
+        # per access.  Resumed runs profile their own leg only (phase
+        # timers are wall-clock and are deliberately not checkpointed).
+        profiler = (
+            PhaseProfiler() if self.profile_params.enabled else None
+        )
         audit_hook = (
             auditor.maybe_check
             if auditor is not None and auditor.params.interval > 0
@@ -178,6 +196,14 @@ class Simulation:
         if collector is not None:
             collector.bind()
             telemetry_hook = collector.on_access
+        if profiler is not None:
+            # Per-access hook attribution: only the profiled run pays
+            # the wrapper, the plain hook path is untouched.
+            if audit_hook is not None:
+                audit_hook = profiler.timed("audit", audit_hook)
+            if telemetry_hook is not None:
+                telemetry_hook = profiler.timed("telemetry",
+                                                telemetry_hook)
         boundary = None
         if (
             checkpoint_path is not None
@@ -211,15 +237,22 @@ class Simulation:
             and state is None
             and getattr(self.workload, "supports_fused", True)
         ):
-            cycles = fused(self.workload)
+            if profiler is not None:
+                cycles = fused(self.workload, profiler=profiler)
+            else:
+                cycles = fused(self.workload)
         elif self.scheduling == "timing":
             cycles = self._run_timing(
-                audit_hook, telemetry_hook, state, boundary, checkpoint_every
+                audit_hook, telemetry_hook, state, boundary,
+                checkpoint_every, profiler,
             )
         else:
             cycles = self._run_lockstep(
-                audit_hook, telemetry_hook, state, boundary, checkpoint_every
+                audit_hook, telemetry_hook, state, boundary,
+                checkpoint_every, profiler,
             )
+        if profiler is not None:
+            profiler.enter("flush")
         self.hierarchy.finalize_stats()
         report = auditor.finalize() if auditor is not None else None
         telemetry_result = (
@@ -227,6 +260,14 @@ class Simulation:
             if collector is not None
             else None
         )
+        profile_result = None
+        if profiler is not None:
+            profiler.exit("flush")
+            profile_result = profiler.finalize(
+                engine=getattr(self.hierarchy, "engine_name", "object"),
+                stats=self.hierarchy.stats,
+                config=self.hierarchy.config,
+            )
         return SimResult(
             stats=self.hierarchy.stats,
             cycles=cycles,
@@ -237,6 +278,7 @@ class Simulation:
             scheme_stats=self.hierarchy.scheme.on_stats(),
             audit=report,
             telemetry=telemetry_result,
+            profile=profile_result,
         )
 
     # -- timing mode ------------------------------------------------------------
@@ -248,6 +290,7 @@ class Simulation:
         state=None,
         boundary=None,
         boundary_every: int = 65536,
+        profiler=None,
     ) -> int:
         h = self.hierarchy
         base_cpi = h.config.core.base_cpi
@@ -257,8 +300,12 @@ class Simulation:
         core_stats = h.stats.cores
         heappush = heapq.heappush
         heappop = heapq.heappop
+        if profiler is not None:
+            profiler.enter("decode")
         traces = [t.records for t in self.workload]
         trace_ends = [len(t) for t in traces]
+        if profiler is not None:
+            profiler.exit("decode")
         if state is None:
             # (ready_cycle, core, next_index) min-heap.  Cores with an
             # empty trace never issue: they finish instantly with
@@ -278,6 +325,8 @@ class Simulation:
             global_pos = state["global_pos"]
         heapq.heapify(heap)
         countdown = boundary_every
+        if profiler is not None:
+            profiler.enter("access_loop")
         while heap:
             ready, core, idx = heappop(heap)
             rec = traces[core][idx]
@@ -314,6 +363,8 @@ class Simulation:
                         "finish": list(finish),
                         "global_pos": global_pos,
                     })
+        if profiler is not None:
+            profiler.exit("access_loop")
         return max(finish) if finish else 0
 
     # -- lockstep mode -------------------------------------------------------------
@@ -325,6 +376,7 @@ class Simulation:
         state=None,
         boundary=None,
         boundary_every: int = 65536,
+        profiler=None,
     ) -> int:
         h = self.hierarchy
         access = h.access
@@ -332,8 +384,12 @@ class Simulation:
         # Indexed replay of the canonical lock-step order (round-robin by
         # access index -- see trace.interleave_records): the explicit
         # (row, core) cursor is what checkpoints capture.
+        if profiler is not None:
+            profiler.enter("decode")
         streams = [t.records for t in self.workload]
         lens = [len(s) for s in streams]
+        if profiler is not None:
+            profiler.exit("decode")
         cores = len(streams)
         longest = max(lens)
         if state is None:
@@ -341,6 +397,8 @@ class Simulation:
         else:
             row, core, pos = state["row"], state["core"], state["pos"]
         countdown = boundary_every
+        if profiler is not None:
+            profiler.enter("access_loop")
         while row < longest:
             while core < cores:
                 if row < lens[core]:
@@ -371,6 +429,8 @@ class Simulation:
                 core += 1
             core = 0
             row += 1
+        if profiler is not None:
+            profiler.exit("access_loop")
         for cs in core_stats:
             cs.cycles = pos  # lockstep mode carries no timing meaning
         return pos
@@ -428,6 +488,8 @@ class _BoundaryController:
                 chunk=accesses_done // every,
                 chunks=(self.total + every - 1) // every,
                 checkpointed=saved,
+                label=getattr(self.sim.workload, "name", ""),
+                engine=getattr(self.sim.hierarchy, "engine_name", "object"),
             ))
         if (
             self.stop_after is not None
@@ -449,6 +511,7 @@ def run_workload(
     policy_kwargs: Optional[dict] = None,
     audit=None,
     telemetry=None,
+    profile=None,
     checkpoint_path=None,
     checkpoint_every: Optional[int] = None,
     resume_from=None,
@@ -462,7 +525,16 @@ def run_workload(
     variable and then ``config.audit`` decide.  ``telemetry``
     (TelemetryParams or a spec string like ``"250,events=relocation"``)
     enables interval sampling/event tracing the same way, via
-    ``REPRO_TELEMETRY`` and ``config.telemetry``.
+    ``REPRO_TELEMETRY`` and ``config.telemetry``.  ``profile``
+    (ProfileParams or ``"on"``/``"off"``) enables the phase profiler
+    (``SimResult.profile``) the same way again, via ``REPRO_PROFILE``
+    and ``config.profile``.
+
+    Every completed call appends one provenance record to the run
+    ledger (see :mod:`repro.obs.ledger`; ``REPRO_LEDGER=off`` opts
+    out).  Interrupted runs (``stop_after`` checkpoints) do not
+    append -- the resumed completion does, carrying its checkpoint
+    lineage in ``resumed_from``.
 
     ``config.engine`` selects the implementation: ``"object"`` (default)
     builds the reference :class:`~repro.hierarchy.cmp.CacheHierarchy`;
@@ -513,11 +585,91 @@ def run_workload(
         llc_policy_name=llc_policy,
         audit=audit,
         telemetry=telemetry,
+        profile=profile,
     )
-    return sim.run(
+    # Ledger wall time is observability-only (it feeds the JSONL record,
+    # never the SimResult), so the wall-clock reads are suppressed like
+    # the ProgressTracker's.
+    import time as _time
+
+    t0 = _time.perf_counter()  # repro-lint: ignore[determinism]
+    result = sim.run(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         resume_from=resume_from,
         stop_after=stop_after,
         progress=progress,
     )
+    wall_s = _time.perf_counter() - t0  # repro-lint: ignore[determinism]
+    _append_direct_ledger_record(
+        sim, config, workload, llc_policy, policy_kwargs, oracle,
+        result, wall_s, resume_from,
+    )
+    return result
+
+
+def _append_direct_ledger_record(
+    sim: Simulation,
+    config,
+    workload,
+    llc_policy: str,
+    policy_kwargs: Optional[dict],
+    oracle,
+    result: SimResult,
+    wall_s: float,
+    resume_from,
+) -> None:
+    """Record one completed :func:`run_workload` call in the run ledger.
+
+    Best-effort by contract: any failure here is swallowed, because the
+    ledger must never fail a run that already produced its result.  The
+    recipe key is the *same* content hash ``run_many`` would use for an
+    equivalent :class:`~repro.sim.parallel.RunRecipe` (with the resolved
+    audit/telemetry/profile settings baked into the config), so direct
+    runs and fleet runs of the same work share ledger identity; runs a
+    recipe cannot express (custom oracles) get an empty key."""
+    try:
+        from repro.obs.ledger import (
+            append_record,
+            ledger_enabled,
+            record_from_result,
+        )
+
+        if not ledger_enabled():
+            return
+        recipe_key = ""
+        if oracle is None:
+            from repro.sim.parallel import RunRecipe
+
+            keyed_config = config.replace(
+                audit=sim.audit_params,
+                telemetry=sim.telemetry_params,
+                profile=sim.profile_params,
+            )
+            recipe_key = RunRecipe(
+                workload=workload,
+                scheme=result.scheme,
+                config=keyed_config,
+                policy=llc_policy,
+                scheduling=sim.scheduling,
+                policy_kwargs=tuple(sorted((policy_kwargs or {}).items())),
+            ).key()
+        append_record(record_from_result(
+            recipe_key=recipe_key,
+            result=result,
+            source="direct",
+            wall_s=wall_s,
+            config=config,
+            workload_fingerprint=workload.fingerprint(),
+            scheduling=sim.scheduling,
+            trace_path=str(getattr(workload, "path", "") or ""),
+            resumed_from=(
+                "" if resume_from is None
+                else "<checkpoint object>"
+                if isinstance(resume_from, SimCheckpoint)
+                else str(resume_from)
+            ),
+        ))
+    except Exception:
+        # Observability must never break the simulation result path.
+        pass

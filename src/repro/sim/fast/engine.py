@@ -120,6 +120,9 @@ class FastHierarchy:
     verbatim so results compare field-for-field.
     """
 
+    #: Which engine produced a result (ledger/profile provenance).
+    engine_name = "fast"
+
     def __init__(
         self,
         config: SystemConfig,
@@ -1365,7 +1368,7 @@ class FastHierarchy:
         instr = sum(r.gap for r in recs) + len(recs)
         return cols, instr
 
-    def run_trace(self, workload) -> int:
+    def run_trace(self, workload, profiler=None) -> int:
         """Timing-mode driver with the access path fused into the loop.
 
         Exact port of ``Simulation._run_timing`` + :meth:`access` with the
@@ -1382,6 +1385,12 @@ class FastHierarchy:
         forwards, ZIV installs, spills) reuse the per-access methods;
         their direct ``self.stats``/``self.energy`` increments commute
         with the batched flush.
+
+        ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`, or
+        None) brackets the decode/access-loop/flush phases.  It is not
+        a per-access hook -- the fused driver stays valid under
+        profiling, and the disabled path costs one predicate per phase
+        transition, never per access.
         """
         from heapq import heapify, heappop, heappush
 
@@ -1445,6 +1454,8 @@ class FastHierarchy:
         l2_ways = l2s[0].ways
 
         # -- per-record decode columns, memoised on the trace --------------
+        if profiler is not None:
+            profiler.enter("decode")
         decode_key = (
             self.config.core.base_cpi, bank_mask, bank_bits, set_mask,
             spb, ways, d_sets, d_ways, dir_set_bits, dir_set_mask,
@@ -1467,6 +1478,8 @@ class FastHierarchy:
             cols_t.append(entry[0])
             instr_t.append(entry[1])
             trace_ends.append(len(entry[0]))
+        if profiler is not None:
+            profiler.exit("decode")
 
         # -- per-path tallies (every stats/energy field derives from
         # these at the flush; see the mapping there) -----------------------
@@ -1484,6 +1497,8 @@ class FastHierarchy:
         heapify(heap)
         finish = [0] * n_cores
 
+        if profiler is not None:
+            profiler.enter("access_loop")
         while heap:
             ready, core, idx = heappop(heap)
             (
@@ -1827,6 +1842,9 @@ class FastHierarchy:
         # follows arithmetically (each access is exactly one of l1-hit /
         # l2-hit / llc-access, and the memory-fill path bumps the miss,
         # fill, DRAM-read and data-write counters in lockstep).
+        if profiler is not None:
+            profiler.exit("access_loop")
+            profiler.enter("flush")
         core_stats = self._core_stats
         tot_acc = 0
         tot_l1h = 0
@@ -1865,6 +1883,8 @@ class FastHierarchy:
         energy.llc_data_reads += n_hit
         energy.llc_data_writes += n_fill
         energy.dram_accesses += n_fill + n_wb
+        if profiler is not None:
+            profiler.exit("flush")
         return max(finish) if finish else 0
 
     # ------------------------------------------------------------ finalisation

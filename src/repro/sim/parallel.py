@@ -38,6 +38,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -61,7 +62,11 @@ from repro.sim.trace import Workload
 #: (binary headers replicate Workload.fingerprint exactly), which is
 #: only sound now that streamed and in-memory runs are enforced
 #: bit-identical -- entries keyed before that guarantee must not alias.
-CACHE_VERSION = "5"
+#: "6": SimResult grew the ``profile`` field (phase-profiler output) and
+#: SystemConfig the ``profile`` section; pre-profile pickles would
+#: deserialise without the attribute, and profiled runs must never
+#: alias entries keyed before the section joined the hash preimage.
+CACHE_VERSION = "6"
 
 _DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -370,30 +375,81 @@ def fetch_or_run(recipe: RunRecipe) -> SimResult:
 def _fetch_with_source(recipe: RunRecipe) -> "tuple[SimResult, str]":
     """:func:`fetch_or_run` plus provenance: which layer resolved the
     recipe (``"memo"``, ``"disk"`` or ``"run"``), for progress
-    heartbeats."""
+    heartbeats.  Every resolution -- cache hit or fresh -- appends one
+    record to the run ledger (:mod:`repro.obs.ledger`)."""
     key = recipe.key()
     result = _MEMO.get(key)
     if result is not None:
+        _ledger_append(recipe, key, result, "memo", 0.0)
         return result, "memo"
     if cache_enabled():
         result = load_result(key)
         if result is not None:
             _MEMO[key] = result
+            _ledger_append(recipe, key, result, "disk", 0.0)
             return result, "disk"
+    # Wall time feeds the ledger record only (observability, never a
+    # SimResult), so the clock reads are suppressed like the
+    # ProgressTracker's.
+    t0 = time.perf_counter()  # repro-lint: ignore[determinism]
     result = recipe.execute()
+    wall_s = time.perf_counter() - t0  # repro-lint: ignore[determinism]
     _MEMO[key] = result
     if cache_enabled():
         store_result(key, result)
+    _ledger_append(recipe, key, result, "run", wall_s)
     return result, "run"
 
 
-def _execute_recipe(item: "tuple[str, RunRecipe]") -> "tuple[str, SimResult]":
+def _ledger_append(
+    recipe: RunRecipe,
+    key: str,
+    result: SimResult,
+    source: str,
+    wall_s: float,
+) -> None:
+    """Append one run-ledger record; best-effort (the ledger must never
+    fail a run), and only ever called in the parent process -- pool
+    workers return their wall time instead, so each resolution is
+    recorded exactly once."""
+    try:
+        from repro.obs.ledger import (
+            append_record,
+            ledger_enabled,
+            record_from_result,
+        )
+
+        if not ledger_enabled():
+            return
+        append_record(record_from_result(
+            recipe_key=key,
+            result=result,
+            source=source,
+            wall_s=wall_s,
+            config=recipe.config,
+            workload_fingerprint=recipe.workload.fingerprint(),
+            scheduling=recipe.scheduling,
+            trace_path=str(getattr(recipe.workload, "path", "") or ""),
+            resumed_from="",
+        ))
+    except Exception:
+        pass
+
+
+def _execute_recipe(
+    item: "tuple[str, RunRecipe]",
+) -> "tuple[str, SimResult, float]":
     """Pool worker: rebuild the hierarchy from the pickled recipe and run.
 
     Module-level (not a closure) so it imports cleanly under the ``spawn``
-    start method."""
+    start method.  Returns ``(key, result, wall_s)``: the wall time rides
+    back to the parent, which owns all ledger appends (workers never
+    touch the ledger, so each resolution is recorded exactly once)."""
     key, recipe = item
-    return key, recipe.execute()
+    t0 = time.perf_counter()  # repro-lint: ignore[determinism]
+    result = recipe.execute()
+    wall_s = time.perf_counter() - t0  # repro-lint: ignore[determinism]
+    return key, result, wall_s
 
 
 def _start_method() -> str:
@@ -468,7 +524,8 @@ def run_many(
             result, source = _fetch_with_source(recipe)
             if tracker is not None:
                 heartbeat(tracker.advance(label_of(i, recipe), source,
-                                          result))
+                                          result, key=keys[i],
+                                          engine=recipe.config.engine))
             out.append(result)
         return out
 
@@ -479,17 +536,21 @@ def run_many(
         if key in pending:
             continue
         if key in _MEMO:
+            _ledger_append(recipe, key, _MEMO[key], "memo", 0.0)
             if tracker is not None:
                 heartbeat(tracker.advance(label_of(i, recipe), "memo",
-                                          _MEMO[key]))
+                                          _MEMO[key], key=key,
+                                          engine=recipe.config.engine))
             continue
         if cache_enabled():
             cached = load_result(key)
             if cached is not None:
                 _MEMO[key] = cached
+                _ledger_append(recipe, key, cached, "disk", 0.0)
                 if tracker is not None:
                     heartbeat(tracker.advance(label_of(i, recipe), "disk",
-                                              cached))
+                                              cached, key=key,
+                                              engine=recipe.config.engine))
                 continue
         pending[key] = recipe
         pending_label[key] = label_of(i, recipe)
@@ -499,7 +560,9 @@ def run_many(
         seen: set = set()
         for recipe, key in zip(recipes, keys):
             if key in pending and key in seen:
-                heartbeat(tracker.advance(pending_label[key], "memo", None))
+                heartbeat(tracker.advance(pending_label[key], "memo", None,
+                                          key=key,
+                                          engine=recipe.config.engine))
             seen.add(key)
 
     if pending:
@@ -511,17 +574,23 @@ def run_many(
             with ctx.Pool(processes=min(n_jobs, len(items))) as pool:
                 completed = pool.imap(_execute_recipe, items)
                 results = []
-                for key, result in completed:
-                    results.append((key, result))
+                for key, result, wall_s in completed:
+                    results.append((key, result, wall_s))
+                    _ledger_append(pending[key], key, result, "run", wall_s)
                     if tracker is not None:
                         heartbeat(tracker.advance(
-                            pending_label[key], "run", result
+                            pending_label[key], "run", result, key=key,
+                            engine=pending[key].config.engine,
                         ))
                 completed = results
-        if len(items) == 1 and tracker is not None:
-            key, result = completed[0]
-            heartbeat(tracker.advance(pending_label[key], "run", result))
-        for key, result in completed:
+        if len(items) == 1:
+            key, result, wall_s = completed[0]
+            _ledger_append(pending[key], key, result, "run", wall_s)
+            if tracker is not None:
+                heartbeat(tracker.advance(pending_label[key], "run", result,
+                                          key=key,
+                                          engine=pending[key].config.engine))
+        for key, result, _wall_s in completed:
             _MEMO[key] = result
             if cache_enabled():
                 store_result(key, result)

@@ -56,6 +56,8 @@ def describe_result(result: SimResult) -> str:
                 + (f", {t.dropped_events} dropped"
                    if t.dropped_events else "")
             )
+    if result.profile is not None:
+        lines.append(f"profile       : {result.profile.summary()}")
     return "\n".join(lines)
 
 

@@ -526,13 +526,17 @@ class StreamProgress:
     ``progress`` callback every ``checkpoint_every`` accesses.  ``chunk``
     is the boundary index just completed (``accesses_done //
     checkpoint_every``); ``checkpointed`` says whether state was saved
-    at this boundary."""
+    at this boundary.  ``label`` names the workload and ``engine`` the
+    hierarchy engine (``"object"``/``"fast"``) so interleaved heartbeat
+    lines from concurrent runs stay attributable."""
 
     accesses_done: int
     total_accesses: int
     chunk: int
     chunks: int
     checkpointed: bool
+    label: str = ""
+    engine: str = ""
 
     @property
     def fraction(self) -> float:
@@ -550,7 +554,11 @@ class RunProgress:
     ``"disk"`` or ``"run"``); the ``from_*``/``simulated`` counters
     accumulate that provenance.  ``accesses_per_s`` covers freshly
     simulated runs only (cache hits would inflate it), and ``eta_s`` is
-    None until at least one fresh simulation has completed."""
+    None until at least one fresh simulation has completed.  ``key`` is
+    the resolved recipe's full cache key (``short_key`` truncates it for
+    display) and ``engine`` the configured hierarchy engine, so
+    interleaved heartbeats from different fleets stay attributable and
+    cross-reference the run ledger."""
 
     completed: int
     total: int
@@ -563,6 +571,14 @@ class RunProgress:
     accesses: int
     accesses_per_s: float
     eta_s: Optional[float]
+    key: str = ""
+    engine: str = ""
+
+    @property
+    def short_key(self) -> str:
+        """First 8 hex digits of the recipe key (``"--------"`` when
+        unknown) -- same abbreviation ``repro obs ls`` prints."""
+        return self.key[:8] if self.key else "--------"
 
 
 class ProgressTracker:
@@ -584,7 +600,8 @@ class ProgressTracker:
         self._sim_t0: Optional[float] = None
         self._sim_elapsed = 0.0
 
-    def advance(self, label: str, source: str, result) -> RunProgress:
+    def advance(self, label: str, source: str, result,
+                key: str = "", engine: str = "") -> RunProgress:
         self.completed += 1
         if source == "memo":
             self.from_memo += 1
@@ -626,6 +643,8 @@ class ProgressTracker:
             accesses=self.accesses,
             accesses_per_s=rate,
             eta_s=eta,
+            key=key,
+            engine=engine,
         )
 
 
@@ -652,6 +671,14 @@ class ProgressPrinter:
             parts.append(f"{p.accesses_per_s / 1000.0:.0f}k acc/s")
         if p.eta_s is not None:
             parts.append(f"eta {_fmt_seconds(p.eta_s)}")
+        # Identify the run that just resolved: short recipe key + engine
+        # keep interleaved fleets tellable-apart in captured logs.
+        tail = p.short_key
+        if p.engine:
+            tail += f"/{p.engine}"
+        if p.label:
+            tail += f" {p.label}"
+        parts.append(tail)
         line = " | ".join(parts)
         pad = max(0, self._last_len - len(line))
         self.stream.write("\r" + line + " " * pad)

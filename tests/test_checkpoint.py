@@ -137,6 +137,9 @@ def test_progress_heartbeats(tmp_path):
     assert all(b.checkpointed for b in beats)
     assert beats[0].chunk == 1
     assert 0.0 < beats[0].fraction <= 1.0
+    # Heartbeats name the run they belong to (interleaved-log hygiene).
+    assert all(b.label == wl.name for b in beats)
+    assert all(b.engine == "object" for b in beats)
 
 
 def test_progress_without_checkpointing(tmp_path):

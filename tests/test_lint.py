@@ -29,6 +29,7 @@ EXPECTED_RULES = (
     "counter-discipline",
     "determinism",
     "event-schema-sync",
+    "ledger-schema-sync",
     "telemetry-guard",
 )
 

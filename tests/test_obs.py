@@ -1,0 +1,591 @@
+"""Fleet observability: run ledger, phase profiler, metrics export and
+the perf-regression gate (`repro.obs`)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from tests.conftest import tiny_config
+
+from repro.obs.ledger import (
+    LEDGER_VERSION,
+    LedgerRecord,
+    append_record,
+    config_digest,
+    ledger_path,
+    read_ledger,
+    record_from_result,
+)
+from repro.obs.profile import (
+    PROFILE_PHASES,
+    PhaseProfiler,
+    ProfileResult,
+    counter_attribution,
+    parse_profile_spec,
+    resolve_profile,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    parse_prometheus,
+    registry_from_ledger,
+)
+from repro.obs.regress import (
+    Comparison,
+    compare_bench,
+    compare_ledger,
+    compare_value,
+    metric_direction,
+    run_regress,
+)
+from repro.params import ConfigError, ProfileParams
+from repro.sim.engine import run_workload
+from repro.sim.parallel import RunRecipe, clear_memo, run_many
+from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+
+def make_workload(k: int = 0, cores: int = 2, length: int = 400) -> Workload:
+    traces = [
+        CoreTrace(
+            [TraceRecord(1, (c + 1) * 256 + (i * (k + 2)) % 40,
+                         i % 5 == 0, i % 4) for i in range(length)]
+        )
+        for c in range(cores)
+    ]
+    return Workload(traces, f"obs-wl{k}")
+
+
+def make_record(**overrides) -> LedgerRecord:
+    base = dict(
+        version=LEDGER_VERSION,
+        ts=1000.0,
+        recipe_key="ab" * 32,
+        workload="wl0",
+        workload_fingerprint="fp",
+        scheme="inclusive",
+        policy="lru",
+        scheduling="timing",
+        engine="object",
+        config_digest="cd" * 32,
+        source="run",
+        cache_hit=False,
+        trace_path="",
+        resumed_from="",
+        wall_s=2.0,
+        accesses=100000,
+        accesses_per_s=50000.0,
+        cycles=123456,
+        audit_violations=0,
+        telemetry_samples=0,
+        telemetry_events=0,
+        profile_phases={},
+        host_cpus=8,
+    )
+    base.update(overrides)
+    return LedgerRecord(**base)
+
+
+@pytest.fixture
+def obs_cache(tmp_path, monkeypatch):
+    """Per-test ledger/cache isolation on top of the session-wide one."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_memo()
+    yield tmp_path
+    clear_memo()
+
+
+# ---------------------------------------------------------------------------
+# Ledger schema and round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerRecord:
+    def test_json_line_round_trip_is_bit_identical(self):
+        rec = make_record(profile_phases={"access_loop": 0.25})
+        line = rec.to_json_line()
+        assert LedgerRecord.from_json_line(line) == rec
+        assert LedgerRecord.from_json_line(line).to_json_line() == line
+        assert "\n" not in line
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = make_record().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ConfigError, match="unknown"):
+            LedgerRecord.from_dict(data)
+
+    def test_from_dict_rejects_missing_keys(self):
+        data = make_record().to_dict()
+        del data["engine"]
+        with pytest.raises(ConfigError, match="needs"):
+            LedgerRecord.from_dict(data)
+
+    def test_short_key(self):
+        assert make_record(recipe_key="0123456789abcdef").short_key == \
+            "01234567"
+        assert make_record(recipe_key="").short_key == "--------"
+
+    def test_config_digest_is_stable_and_config_sensitive(self):
+        cfg = tiny_config()
+        assert config_digest(cfg) == config_digest(tiny_config())
+        assert config_digest(cfg) != config_digest(
+            cfg.replace(engine="fast")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ledger appends from the runner layers
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerAppends:
+    def test_run_workload_appends_a_direct_record(self, obs_cache):
+        cfg = tiny_config()
+        wl = make_workload()
+        result = run_workload(cfg, wl, "inclusive")
+        records = read_ledger()
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.source == "direct"
+        assert not rec.cache_hit
+        assert rec.workload == wl.name
+        assert rec.scheme == result.scheme
+        assert rec.engine == "object"
+        assert rec.accesses == result.stats.total_accesses
+        assert rec.cycles == result.cycles
+        assert rec.wall_s > 0
+        assert rec.accesses_per_s > 0
+        assert rec.recipe_key  # keyed: no oracle involved
+        assert rec.config_digest == config_digest(cfg)
+        assert rec.version == LEDGER_VERSION
+        assert rec.host_cpus == (os.cpu_count() or 1)
+
+    def test_run_many_appends_run_then_memo_records(self, obs_cache):
+        cfg = tiny_config()
+        recipes = [
+            RunRecipe(make_workload(0), "inclusive", cfg),
+            RunRecipe(make_workload(1), "inclusive", cfg),
+        ]
+        run_many(recipes)
+        first = read_ledger()
+        assert [r.source for r in first] == ["run", "run"]
+        assert all(r.wall_s > 0 and r.accesses_per_s > 0 for r in first)
+        assert {r.recipe_key for r in first} == {r.key() for r in recipes}
+        assert all(
+            r.workload_fingerprint == recipe.workload.fingerprint()
+            for r, recipe in zip(first, recipes)
+        )
+        run_many(recipes)
+        again = read_ledger()
+        assert [r.source for r in again[2:]] == ["memo", "memo"]
+        assert all(r.cache_hit for r in again[2:])
+        assert all(r.wall_s == 0 and r.accesses_per_s == 0
+                   for r in again[2:])
+
+    def test_run_many_parallel_appends_in_parent_only(self, obs_cache):
+        cfg = tiny_config()
+        recipes = [
+            RunRecipe(make_workload(k), "inclusive", cfg) for k in range(3)
+        ]
+        run_many(recipes, jobs=2)
+        records = read_ledger()
+        assert len(records) == 3
+        assert all(r.source == "run" for r in records)
+        assert {r.recipe_key for r in records} == {r.key() for r in recipes}
+
+    def test_repro_ledger_off_suppresses_appends(self, obs_cache,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "off")
+        run_workload(tiny_config(), make_workload(), "inclusive")
+        assert read_ledger() == []
+        assert not ledger_path().exists()
+
+    def test_malformed_lines_are_skipped_not_fatal(self, obs_cache):
+        append_record(make_record())
+        with open(ledger_path(), "a") as fh:
+            fh.write("not json at all\n")
+        append_record(make_record(ts=2000.0))
+        records = read_ledger()
+        assert [r.ts for r in records] == [1000.0, 2000.0]
+        with pytest.raises(ConfigError):
+            list(__import__("repro.obs.ledger", fromlist=["iter_ledger"])
+                 .iter_ledger(strict=True))
+
+
+def _append_batch(args):
+    path, n, ts_base = args
+    from repro.obs.ledger import append_record
+    from tests.test_obs import make_record
+
+    for i in range(n):
+        append_record(make_record(ts=ts_base + i), path=path)
+    return n
+
+
+class TestLedgerAtomicity:
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        n_procs, per_proc = 4, 50
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with ctx.Pool(n_procs) as pool:
+            pool.map(
+                _append_batch,
+                [(str(path), per_proc, 1000.0 * p)
+                 for p in range(n_procs)],
+            )
+        # Every line parses (strict): no interleaved partial writes.
+        from repro.obs.ledger import iter_ledger
+
+        records = list(iter_ledger(path, strict=True))
+        assert len(records) == n_procs * per_proc
+
+
+# ---------------------------------------------------------------------------
+# Phase profiler
+# ---------------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_spec_parsing(self):
+        assert parse_profile_spec("on").enabled
+        assert parse_profile_spec("").enabled
+        assert not parse_profile_spec("off").enabled
+        with pytest.raises(ConfigError):
+            parse_profile_spec("sideways")
+
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "on")
+        assert not resolve_profile("off").enabled       # explicit wins
+        assert resolve_profile(None).enabled            # env next
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert resolve_profile(
+            None, ProfileParams(enabled=True)
+        ).enabled                                       # config last
+        assert not resolve_profile(None).enabled        # default off
+
+    @pytest.mark.parametrize("engine", ["object", "fast"])
+    def test_profiled_run_reports_phases(self, engine, obs_cache):
+        cfg = tiny_config().replace(engine=engine)
+        result = run_workload(cfg, make_workload(), "inclusive",
+                              profile="on")
+        p = result.profile
+        assert p is not None
+        assert p.engine == engine
+        assert set(p.phase_s) <= set(PROFILE_PHASES)
+        assert "access_loop" in p.phase_s
+        assert p.phase_s["access_loop"] > 0
+        assert p.total_s >= p.phase_s["access_loop"]
+        assert abs(sum(p.attribution.values()) - 1.0) < 1e-9
+        # The ledger record carries the phase times.
+        rec = read_ledger()[-1]
+        assert rec.profile_phases == p.phase_s
+
+    def test_attribution_is_engine_invariant(self, obs_cache):
+        wl = make_workload()
+        obj = run_workload(tiny_config(), wl, "inclusive", profile="on")
+        fast = run_workload(tiny_config().replace(engine="fast"), wl,
+                            "inclusive", profile="on")
+        assert obj.profile.attribution == fast.profile.attribution
+
+    def test_disabled_run_has_no_profile_and_no_profiler(
+        self, obs_cache, monkeypatch
+    ):
+        import repro.sim.engine as engine_mod
+
+        instantiated = []
+
+        class CountingProfiler(PhaseProfiler):
+            def __init__(self):
+                instantiated.append(1)
+                super().__init__()
+
+        monkeypatch.setattr(engine_mod, "PhaseProfiler", CountingProfiler)
+        result = run_workload(tiny_config(), make_workload(), "inclusive")
+        assert result.profile is None
+        assert instantiated == []  # disabled path never builds a profiler
+        result = run_workload(tiny_config(), make_workload(1), "inclusive",
+                              profile="on")
+        assert result.profile is not None
+        assert instantiated == [1]
+
+    def test_profile_joins_the_cache_key(self):
+        cfg = tiny_config()
+        wl = make_workload()
+        plain = RunRecipe(wl, "inclusive", cfg)
+        profiled = RunRecipe(
+            wl, "inclusive", cfg.replace(profile=ProfileParams(enabled=True))
+        )
+        assert plain.key() != profiled.key()
+
+    def test_profile_result_round_trip_and_validation(self):
+        p = ProfileResult(engine="fast", phase_s={"decode": 0.5},
+                          phase_calls={"decode": 1},
+                          attribution={"l1_hit": 1.0}, total_s=0.6)
+        assert ProfileResult.from_dict(p.to_dict()) == p
+        with pytest.raises(ConfigError):
+            ProfileResult.from_dict({"engine": "fast"})
+        bad = p.to_dict()
+        bad["mystery"] = 3
+        with pytest.raises(ConfigError):
+            ProfileResult.from_dict(bad)
+
+    def test_unbalanced_exit_is_ignored(self):
+        profiler = PhaseProfiler()
+        profiler.exit("decode")  # never entered
+        assert profiler.phase_s == {}
+        profiler.enter("decode")
+        profiler.exit("decode")
+        assert profiler.phase_calls == {"decode": 1}
+
+    def test_counter_attribution_empty_stats(self):
+        class Stats:
+            cores = ()
+            llc_hits = 0
+            llc_misses = 0
+
+        assert counter_attribution(Stats()) == {}
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry and exporters
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_prometheus_round_trip_is_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_runs_total", "runs")
+        reg.gauge("repro_rate", "rate")
+        reg.inc("repro_runs_total", {"engine": "fast"}, 3)
+        reg.set("repro_rate", {"engine": "fast"}, 710763.4821937)
+        reg.set("repro_rate", {"engine": "object"}, 128112.0)
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed[("repro_runs_total", (("engine", "fast"),))] == 3
+        assert parsed[
+            ("repro_rate", (("engine", "fast"),))
+        ] == 710763.4821937
+        assert parsed[("repro_rate", (("engine", "object"),))] == 128112.0
+
+    def test_ledger_aggregation_round_trips_bit_identically(self):
+        records = [
+            make_record(engine="object", accesses_per_s=128112.25,
+                        wall_s=1.5, profile_phases={"access_loop": 1.25}),
+            make_record(engine="fast", accesses_per_s=710763.125,
+                        wall_s=0.25, source="run"),
+            make_record(engine="fast", source="memo", cache_hit=True,
+                        wall_s=0.0, accesses_per_s=0.0),
+        ]
+        reg = registry_from_ledger(records)
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed[
+            ("repro_runs_total",
+             (("engine", "fast"), ("source", "memo")))
+        ] == 1
+        assert parsed[
+            ("repro_best_accesses_per_s", (("engine", "fast"),))
+        ] == 710763.125
+        assert parsed[
+            ("repro_profile_phase_seconds_total",
+             (("engine", "object"), ("phase", "access_loop")))
+        ] == 1.25
+        assert parsed[("repro_ledger_records", ())] == 3
+        # And the JSON exporter agrees with the registry values.
+        data = json.loads(reg.to_json())
+        best = data["repro_best_accesses_per_s"]["samples"]
+        fast = [s for s in best if s["labels"] == {"engine": "fast"}]
+        assert fast[0]["value"] == 710763.125
+
+
+# ---------------------------------------------------------------------------
+# Perf-regression gate
+# ---------------------------------------------------------------------------
+
+
+class TestRegress:
+    def test_metric_direction(self):
+        assert metric_direction("access_rate_per_s") == "higher"
+        assert metric_direction("warm_speedup") == "higher"
+        assert metric_direction("streaming_overhead") == "lower"
+        assert metric_direction("cpus") is None
+
+    def test_compare_value_directions(self):
+        up = compare_value("m", 100.0, 150.0, "higher", 0.2)
+        assert not up.regressed and up.change == pytest.approx(0.5)
+        down = compare_value("m", 100.0, 75.0, "higher", 0.2)
+        assert down.regressed
+        worse_overhead = compare_value("m", 2.0, 2.6, "lower", 0.2)
+        assert worse_overhead.regressed
+
+    def test_injected_slowdown_regresses_ledger_leg(self):
+        fast = make_record(accesses_per_s=100000.0, host_cpus=8)
+        slow = make_record(accesses_per_s=75000.0, ts=2000.0, host_cpus=8)
+        comps = compare_ledger([fast, slow], threshold=0.2, host_cpus=8)
+        assert [c.regressed for c in comps] == [True]
+        clean = compare_ledger(
+            [fast, make_record(accesses_per_s=99000.0, ts=2000.0)],
+            threshold=0.2, host_cpus=8,
+        )
+        assert [c.regressed for c in clean] == [False]
+
+    def test_ledger_leg_filters_smoke_noise_and_foreign_hosts(self):
+        comps = compare_ledger(
+            [
+                make_record(accesses_per_s=100000.0, accesses=500),
+                make_record(accesses_per_s=1.0, ts=2000.0, host_cpus=99),
+            ],
+            host_cpus=8,
+        )
+        assert all(c.skipped for c in comps)
+
+    def test_bench_cpus_mismatch_skips_with_reason(self):
+        current = {"bench": "b", "cpus": 8, "rate_per_s": 50.0}
+        history = [("old.json", {"bench": "b", "cpus": 1,
+                                 "rate_per_s": 100.0})]
+        comps = compare_bench(current, history)
+        assert len(comps) == 1
+        assert comps[0].skipped
+        assert "cpus differ" in comps[0].reason
+
+    def test_bench_same_host_regression_detected(self):
+        current = {"bench": "b", "cpus": 8, "rate_per_s": 50.0}
+        history = [("old.json", {"bench": "b", "cpus": 8,
+                                 "rate_per_s": 100.0})]
+        comps = compare_bench(current, history)
+        assert [c.regressed for c in comps] == [True]
+
+    def test_run_regress_collects_errors_for_bad_paths(self, tmp_path):
+        report = run_regress(bench_paths=[tmp_path / "missing.json"])
+        assert report.errors
+        assert report.exit_code() == 2
+
+    def test_check_mode_fails_vacuous_gate(self):
+        report = run_regress()
+        assert report.exit_code() == 0
+        assert report.exit_code(check=True) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestObsCli:
+    def run_cli(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_ls_show_top_diff_export(self, obs_cache, capsys, tmp_path):
+        cfg = tiny_config()
+        run_many([
+            RunRecipe(make_workload(0), "inclusive", cfg),
+            RunRecipe(make_workload(1), "inclusive", cfg,
+                      policy="srrip"),
+        ])
+        keys = [r.recipe_key for r in read_ledger()]
+        assert self.run_cli("obs", "ls") == 0
+        out = capsys.readouterr().out
+        assert "2 record(s) total" in out
+        assert keys[0][:8] in out
+        assert self.run_cli("obs", "show", keys[0][:8]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["recipe_key"] == keys[0]
+        assert self.run_cli("obs", "top") == 0
+        assert "best throughput by engine" in capsys.readouterr().out
+        assert self.run_cli("obs", "diff", keys[0][:8], keys[1][:8]) == 0
+        assert "recipe_key" in capsys.readouterr().out
+        out_file = tmp_path / "metrics.prom"
+        assert self.run_cli("obs", "export", "--out", str(out_file)) == 0
+        capsys.readouterr()
+        parsed = parse_prometheus(out_file.read_text())
+        assert parsed[("repro_ledger_records", ())] == 2
+
+    def test_show_rejects_short_or_unknown_prefix(self, obs_cache,
+                                                  capsys):
+        assert self.run_cli("obs", "show", "ab") == 1
+        assert self.run_cli("obs", "show", "feedbeef") == 1
+        capsys.readouterr()
+
+    def test_regress_cli_detects_injected_slowdown(self, obs_cache,
+                                                   capsys):
+        path = obs_cache / "ledger.jsonl"
+        append_record(make_record(accesses_per_s=100000.0, host_cpus=8),
+                      path=path)
+        append_record(
+            make_record(accesses_per_s=70000.0, ts=2000.0, host_cpus=8),
+            path=path,
+        )
+        code = self.run_cli(
+            "obs", "regress", "--bench", "NO_SUCH_GLOB_*.json",
+            "--ledger", str(path), "--cpus", "8",
+        )
+        out = capsys.readouterr().out
+        assert code == 2  # the bogus bench pattern is a read error
+        code = self.run_cli(
+            "obs", "regress", "--ledger", str(path), "--cpus", "8",
+            "--bench",
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_regress_check_passes_against_committed_history(
+        self, obs_cache, capsys, monkeypatch
+    ):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert self.run_cli("obs", "regress", "--check") == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+
+# ---------------------------------------------------------------------------
+# Bench schema checker (scripts/check_bench.py)
+# ---------------------------------------------------------------------------
+
+
+class TestCheckBench:
+    def load(self):
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "check_bench", root / "scripts" / "check_bench.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_committed_reports_conform(self, monkeypatch, capsys):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert self.load().main([]) == 0
+        capsys.readouterr()
+
+    def test_rejects_missing_and_mistyped_keys(self, tmp_path, capsys):
+        mod = self.load()
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({
+            "bench": "b", "cpus": "eight", "rate_per_s": 1.0,
+        }))
+        assert mod.main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cpus" in err and "methodology" in err
+
+    def test_rejects_report_without_directional_metric(self, tmp_path,
+                                                       capsys):
+        mod = self.load()
+        bad = tmp_path / "BENCH_flat.json"
+        bad.write_text(json.dumps({
+            "bench": "b", "cpus": 1, "methodology": "m", "note": "hi",
+        }))
+        assert mod.main([str(bad)]) == 1
+        assert "directional" in capsys.readouterr().err

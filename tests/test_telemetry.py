@@ -359,6 +359,50 @@ class TestProgress:
         assert "[1/1]" in text
         assert text.endswith("\n")
 
+    def test_heartbeats_carry_recipe_key_and_engine(self):
+        wl = homogeneous_mix("mcf.1", cores=2, n_accesses=300)
+        cfg = tiny_config()
+        recipes = [
+            make_recipe(wl, scheme, config=cfg)
+            for scheme in ("inclusive", "qbs")
+        ]
+        beats = []
+        run_many(recipes, heartbeat=beats.append)
+        assert [b.key for b in beats] == [r.key() for r in recipes]
+        assert all(b.engine == "object" for b in beats)
+        assert all(b.short_key == b.key[:8] for b in beats)
+
+    def test_interleaved_printer_lines_stay_attributable(self):
+        """Two fleets sharing one stream: every rendered line must name
+        the recipe (short key + engine + label) that just resolved, so
+        captured logs with interleaved heartbeats stay readable."""
+        import io
+
+        buf = io.StringIO()
+        printer = ProgressPrinter(stream=buf)
+        tracker_a = ProgressTracker(total=1)
+        tracker_b = ProgressTracker(total=1)
+        printer(tracker_a.advance("fleet-a/wl0", "memo", None,
+                                  key="aaaa1111" * 8, engine="object"))
+        printer(tracker_b.advance("fleet-b/wl1", "run", None,
+                                  key="bbbb2222" * 8, engine="fast"))
+        printer.done()
+        lines = buf.getvalue().split("\r")
+        assert "aaaa1111" in lines[1] and "/object" in lines[1]
+        assert "fleet-a/wl0" in lines[1]
+        assert "bbbb2222" in lines[2] and "/fast" in lines[2]
+        assert "fleet-b/wl1" in lines[2]
+        # The full 64-hex key never hits the display -- short form only.
+        assert "aaaa1111" * 8 not in buf.getvalue()
+
+    def test_printer_without_key_shows_placeholder(self):
+        import io
+
+        buf = io.StringIO()
+        printer = ProgressPrinter(stream=buf)
+        printer(ProgressTracker(total=1).advance("x", "memo", None))
+        assert "--------" in buf.getvalue()
+
 
 # ---------------------------------------------------------------------------
 # The disabled path
