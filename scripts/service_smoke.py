@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI service smoke: drive the simulation job service over real HTTP.
+
+Starts a process-mode :class:`~repro.service.server.ServiceServer` on
+an ephemeral port, then asserts the service's core guarantees through
+the client, end to end:
+
+* submit/wait/result on **both engines**, with the engines agreeing on
+  every counter (the differential-oracle contract, now over HTTP);
+* resubmission resolves from storage without a fresh execution, and the
+  payload bytes are identical;
+* three concurrent clients racing one recipe share a single execution
+  -- proven by the ledger: exactly one ``run`` record, two cache-hit
+  records, bit-identical payloads;
+* recipe rejections are structured 400s naming the offending field,
+  and count into ``/metrics``;
+* ``/metrics`` parses and its job counters reconcile with what we
+  submitted; the ledger grew by exactly the expected record count.
+
+Exit 0 on success; any assertion failure is a non-zero exit.
+
+Usage::
+
+    REPRO_CACHE_DIR=$(mktemp -d) python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config_io import recipe_to_dict  # noqa: E402
+from repro.obs.ledger import ledger_path, read_ledger  # noqa: E402
+from repro.obs.registry import parse_prometheus  # noqa: E402
+from repro.params import (  # noqa: E402
+    CacheGeometry,
+    DirectoryGeometry,
+    LLCGeometry,
+    SystemConfig,
+)
+from repro.service import (  # noqa: E402
+    ServiceClient,
+    ServiceError,
+    create_server,
+)
+from repro.sim.parallel import RunRecipe  # noqa: E402
+from repro.sim.trace import (  # noqa: E402
+    CoreTrace,
+    TraceRecord,
+    Workload,
+)
+
+
+def small_config(engine: str = "object") -> SystemConfig:
+    return SystemConfig(
+        cores=2,
+        l1=CacheGeometry(sets=1, ways=2),
+        l2=CacheGeometry(sets=2, ways=4),
+        llc=LLCGeometry(banks=2, sets_per_bank=4, ways=4),
+        directory=DirectoryGeometry(sets=2, ways=8),
+        engine=engine,
+    )
+
+
+def small_workload(k: int = 0, length: int = 600) -> Workload:
+    traces = [
+        CoreTrace(
+            [TraceRecord(1, (c + 1) * 256 + (i * (k + 2)) % 48,
+                         i % 5 == 0, i % 4) for i in range(length)]
+        )
+        for c in range(2)
+    ]
+    return Workload(traces, f"svc-smoke-wl{k}")
+
+
+def main() -> int:
+    start = len(read_ledger())
+    server = create_server(port=0, workers=2, mode="process").start()
+    client = ServiceClient(server.url, timeout=180.0)
+    try:
+        assert client.health()["ok"] is True
+
+        # -- both engines over HTTP, grid of 2 schemes x 2 workloads ----
+        grid = [
+            RunRecipe(small_workload(k), scheme, small_config(engine))
+            for engine in ("object", "fast")
+            for scheme in ("inclusive", "ziv:notinprc")
+            for k in range(2)
+        ]
+        payloads = client.run_recipes(
+            [recipe_to_dict(r) for r in grid], timeout=180.0
+        )
+        assert len(payloads) == len(grid)
+
+        # engines agree on every counter: pair object/fast payloads of
+        # the same (scheme, workload) point
+        half = len(grid) // 2
+        for obj, fast in zip(payloads[:half], payloads[half:]):
+            assert obj["summary"] == fast["summary"], (obj, fast)
+            assert obj["cycles"] == fast["cycles"]
+
+        views = {v["id"]: v for v in client.jobs()}
+        assert sorted(v["source"] for v in views.values()) == \
+            ["run"] * len(grid)
+
+        # -- resubmission: storage hit, identical bytes -----------------
+        d0 = recipe_to_dict(grid[0])
+        first_id = client.jobs()[0]["id"]
+        dupe = client.submit(d0)
+        assert dupe["state"] == "done"
+        assert dupe["source"] in ("memo", "disk")
+        assert client.result_bytes(dupe["id"]) == \
+            client.result_bytes(first_id)
+
+        # -- concurrent clients: one execution, ledger-proven -----------
+        race = RunRecipe(small_workload(7, length=900), "qbs",
+                         small_config("object"))
+        race_dict = recipe_to_dict(race)
+        outcomes: list = [None] * 3
+
+        def racer(i: int) -> None:
+            c = ServiceClient(server.url, timeout=180.0)
+            final = c.wait(c.submit(race_dict)["id"], timeout=180.0)
+            outcomes[i] = (final["source"],
+                           c.result_bytes(final["id"]))
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        assert all(o is not None for o in outcomes), "racer timed out"
+        sources = sorted(s for s, _ in outcomes)
+        assert sources.count("run") == 1, sources
+        assert len({p for _, p in outcomes}) == 1, "payloads differ"
+        race_records = [r.source for r in read_ledger()
+                        if r.recipe_key == race.key()]
+        assert sorted(race_records).count("run") == 1, race_records
+        assert len(race_records) == 3, race_records
+
+        # -- structured rejections --------------------------------------
+        for mutate, want_field in (
+            (lambda d: d["config"].__setitem__("engine", "warp"),
+             "config.engine"),
+            (lambda d: d.__setitem__("scheme", "nonesuch"), "scheme"),
+        ):
+            bad = recipe_to_dict(grid[0])
+            bad["config"] = dict(bad["config"])
+            mutate(bad)
+            try:
+                client.submit(bad)
+                raise AssertionError("bad recipe must be rejected")
+            except ServiceError as err:
+                assert err.status == 400, err
+                assert err.field == want_field, err
+
+        # -- metrics reconcile ------------------------------------------
+        metrics = parse_prometheus(client.metrics())
+
+        def outcome(name: str) -> int:
+            return metrics.get(
+                ("repro_service_jobs_total", (("outcome", name),)), 0
+            )
+
+        # fresh: the grid + the race primary; memo/disk: dupe + 2 racers
+        assert outcome("fresh") == len(grid) + 1, metrics
+        assert outcome("memo") + outcome("disk") == 3
+        assert outcome("rejected") == 2
+        assert outcome("failed") == 0
+        assert metrics[("repro_service_jobs_inflight", ())] == 0
+        assert ("repro_ledger_records", ()) in metrics
+
+        # -- ledger growth accounting -----------------------------------
+        grown = len(read_ledger()) - start
+        # grid (fresh) + dupe + race (1 run + 2 cache hits)
+        expected = len(grid) + 1 + 3
+        assert grown == expected, (grown, expected)
+    finally:
+        server.close()
+
+    print(
+        f"service smoke: {expected} resolution(s) over HTTP at "
+        f"{server.url}, ledger {ledger_path()} grew by {grown}, "
+        f"one execution per key, both engines agree"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

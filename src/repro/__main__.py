@@ -12,6 +12,9 @@ Commands
 ``lint``                 static-analysis pass enforcing simulator invariants
 ``trace``                convert/inspect/verify binary trace files
 ``obs``                  run ledger, metrics export, perf-regression gate
+``serve``                run the HTTP/JSON simulation job service
+``submit``               submit one recipe to a running service
+``jobs``                 list a running service's jobs
 """
 
 from __future__ import annotations
@@ -274,6 +277,105 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import create_server
+
+    server = create_server(host=args.host, port=args.port,
+                           workers=args.workers, mode=args.mode,
+                           verbose=args.verbose)
+    print(f"repro service listening on {server.url} "
+          f"({server.manager.workers} {args.mode} worker(s)); "
+          f"Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.recipe:
+        with open(args.recipe, "r", encoding="utf-8") as fh:
+            body = json.load(fh)
+    else:
+        from repro.config_io import config_to_dict
+        from repro.params import scaled_config
+
+        config = scaled_config(args.l2)
+        if args.engine != config.engine:
+            config = config.replace(engine=args.engine)
+        if args.workload.startswith("mt:"):
+            workload = {"kind": "mt", "app": args.workload[3:],
+                        "cores": config.cores,
+                        "accesses": args.accesses}
+        else:
+            workload = {"kind": "profile", "app": args.workload,
+                        "cores": config.cores,
+                        "accesses": args.accesses}
+        body = {
+            "workload": workload,
+            "scheme": args.scheme,
+            "policy": args.policy,
+            "scheduling": args.scheduling,
+            "config": config_to_dict(config),
+        }
+    try:
+        view = client.submit(body)
+        print(f"job {view['id']} ({view['state']}): "
+              f"{view['scheme']}/{view['policy']} on {view['workload']} "
+              f"[{view['engine']}]")
+        if args.no_wait:
+            return 0
+        view = client.wait(view["id"], timeout=args.timeout)
+        if view["state"] == "failed":
+            print(f"job {view['id']} failed: {view['error']}",
+                  file=sys.stderr)
+            return 1
+        payload = client.result(view["id"])
+        print(f"job {view['id']} done (source={view['source']}, "
+              f"wall={view['wall_s']:.3f}s)")
+        print(f"  cycles: {payload['cycles']}")
+        print(f"  accesses: {payload['summary']['accesses']}")
+        ipc = ", ".join(f"{v:.4f}" for v in payload["ipc_per_core"])
+        print(f"  ipc/core: {ipc}")
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        views = client.jobs()
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if not views:
+        print("no jobs")
+        return 0
+    for view in views:
+        line = (f"{view['id']:>6s}  {view['state']:8s} "
+                f"{view['source'] or '-':5s} "
+                f"{view['scheme']}/{view['policy']} on "
+                f"{view['workload']} [{view['engine']}]")
+        if view["error"]:
+            line += f"  error: {view['error']}"
+        if view["coalesced_into"]:
+            line += f"  (coalesced into {view['coalesced_into']})"
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -427,6 +529,53 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.obs.cli import add_arguments as _add_obs_arguments
 
     _add_obs_arguments(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON simulation job service (submit recipes "
+             "with 'repro submit' or repro.service.ServiceClient)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8742,
+                   help="listen port (0 binds a free ephemeral port)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker-pool width (default: CPU count)")
+    p.add_argument("--mode", default="process",
+                   choices=("process", "thread"),
+                   help="execute jobs on a process pool (default) or "
+                        "in-process threads (tiny workloads, tests)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one recipe to a running service and print the result",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8742",
+                   help="service base URL")
+    p.add_argument("--recipe", default=None, metavar="FILE.json",
+                   help="submit this serialized recipe verbatim instead "
+                        "of building one from the flags below")
+    p.add_argument("--workload", default="xalancbmk.2",
+                   help="profile name, or mt:<app> for multi-threaded")
+    p.add_argument("--scheme", default="ziv:likelydead")
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--scheduling", default="timing",
+                   choices=("timing", "lockstep"))
+    p.add_argument("--l2", default="512KB",
+                   choices=("256KB", "512KB", "768KB", "1MB"))
+    p.add_argument("--accesses", type=int, default=4000)
+    p.add_argument("--engine", default="object",
+                   choices=("object", "fast"))
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the result")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit and exit without waiting for the result")
+
+    p = sub.add_parser("jobs", help="list a running service's jobs")
+    p.add_argument("--url", default="http://127.0.0.1:8742",
+                   help="service base URL")
+    p.add_argument("--timeout", type=float, default=30.0)
     return parser
 
 
@@ -443,6 +592,9 @@ def main(argv=None) -> int:
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }[args.command]
     if args.command == "trace" and args.action == "convert" and not args.dst:
         print("trace convert needs a destination path", file=sys.stderr)

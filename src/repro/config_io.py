@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.params import (
+    ENGINES,
     AuditParams,
     CacheGeometry,
     CHARParams,
@@ -39,6 +40,27 @@ from repro.params import (
     SystemConfig,
     TelemetryParams,
 )
+
+
+class RecipeError(ConfigError):
+    """A configuration/recipe dict was rejected.
+
+    ``field`` names the offending key as a dotted path into the
+    submitted object (``"config.engine"``, ``"workload.app"``; ``""``
+    when the error has no single attributable key).  The simulation
+    service surfaces it in structured JSON rejections, so remote
+    clients learn *which* part of a submission to fix without parsing
+    prose."""
+
+    def __init__(self, message: str, field: str = "") -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def _prefixed(err: "RecipeError", prefix: str) -> "RecipeError":
+    """Re-root a :class:`RecipeError` under an enclosing key."""
+    field = f"{prefix}.{err.field}" if err.field else prefix
+    return RecipeError(str(err), field)
 
 _SECTIONS: dict[str, type[Any]] = {
     "l1": CacheGeometry,
@@ -64,14 +86,26 @@ def config_from_dict(data: dict[str, Any]) -> SystemConfig:
     """Build a :class:`SystemConfig` from a nested dict.
 
     Unknown keys raise :class:`ConfigError` (catching typos beats silently
-    ignoring them)."""
+    ignoring them).  Errors attributable to one key raise the
+    :class:`RecipeError` subclass with ``field`` naming it, so the
+    simulation service can reject submissions with a structured pointer
+    at the offending key rather than prose alone."""
     if not isinstance(data, dict):
-        raise ConfigError("configuration must be a JSON object")
+        raise RecipeError("configuration must be a JSON object")
     known = {"cores", "directory_mode", "relocation_fifo_depth",
              "nextrs_latency", "engine"} | set(_SECTIONS)
     unknown = set(data) - known
     if unknown:
-        raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
+        raise RecipeError(
+            f"unknown configuration keys: {sorted(unknown)}",
+            field=sorted(unknown)[0],
+        )
+    engine = data.get("engine")
+    if engine is not None and engine not in ENGINES:
+        raise RecipeError(
+            f"unknown engine {engine!r}; known: {list(ENGINES)}",
+            field="engine",
+        )
     kwargs: dict[str, Any] = {}
     for key, value in data.items():
         cls = _SECTIONS.get(key)
@@ -79,17 +113,20 @@ def config_from_dict(data: dict[str, Any]) -> SystemConfig:
             kwargs[key] = value
             continue
         if not isinstance(value, dict):
-            raise ConfigError(f"section {key!r} must be an object")
+            raise RecipeError(f"section {key!r} must be an object",
+                              field=key)
         field_names = {f.name for f in dataclasses.fields(cls)}
         bad = set(value) - field_names
         if bad:
-            raise ConfigError(
-                f"unknown keys in section {key!r}: {sorted(bad)}"
+            raise RecipeError(
+                f"unknown keys in section {key!r}: {sorted(bad)}",
+                field=f"{key}.{sorted(bad)[0]}",
             )
         try:
             kwargs[key] = cls(**value)
         except TypeError as exc:
-            raise ConfigError(f"section {key!r}: {exc}") from exc
+            raise RecipeError(f"section {key!r}: {exc}",
+                              field=key) from exc
     try:
         return SystemConfig(**kwargs)
     except TypeError as exc:
@@ -139,4 +176,242 @@ def trace_ref_from_dict(data: dict[str, Any]) -> Any:
         )
     return TraceRef(
         data["path"], data["fingerprint"], name=data.get("name", "")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload + recipe dict forms (the simulation service's wire format)
+# ---------------------------------------------------------------------------
+
+#: Recognised ``workload.kind`` values and the keys each form accepts.
+_WORKLOAD_KINDS: dict[str, frozenset[str]] = {
+    "records": frozenset({"kind", "name", "cores"}),
+    "trace": frozenset({"kind", "path", "fingerprint", "name"}),
+    "profile": frozenset({"kind", "app", "cores", "accesses", "seed"}),
+    "mt": frozenset({"kind", "app", "cores", "accesses", "seed"}),
+}
+
+
+def workload_to_dict(workload: Any) -> dict[str, Any]:
+    """Plain-dict form of a workload for JSON submission.
+
+    :class:`~repro.sim.tracebin.TraceRef` serialises as its path +
+    fingerprint stand-in (``kind="trace"``; no records shipped); an
+    in-memory :class:`~repro.sim.trace.Workload` serialises every
+    record (``kind="records"``), so a remote server reconstructs a
+    workload with the identical content fingerprint -- and therefore
+    the identical result-cache key."""
+    from repro.sim.tracebin import TraceRef
+
+    if isinstance(workload, TraceRef):
+        out: dict[str, Any] = {"kind": "trace"}
+        out.update(trace_ref_to_dict(workload))
+        return out
+    return {
+        "kind": "records",
+        "name": workload.name,
+        "cores": [
+            {
+                "name": trace.name,
+                "records": [
+                    [r.gap, r.addr, 1 if r.is_write else 0, r.pc]
+                    for r in trace.records
+                ],
+            }
+            for trace in workload.traces
+        ],
+    }
+
+
+def _require_keys(data: dict[str, Any], kind: str) -> None:
+    allowed = _WORKLOAD_KINDS[kind]
+    unknown = set(data) - allowed
+    if unknown:
+        raise RecipeError(
+            f"unknown {kind!r}-workload keys: {sorted(unknown)}",
+            field=sorted(unknown)[0],
+        )
+
+
+def workload_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a workload (or trace reference) from its dict form.
+
+    ``kind="records"`` rebuilds an in-memory workload record by record;
+    ``kind="trace"`` yields a :class:`~repro.sim.tracebin.TraceRef`
+    (resolved and fingerprint-verified at execution time);
+    ``kind="profile"`` / ``kind="mt"`` synthesize the named workload
+    profile deterministically on the receiving side, so submissions can
+    name profiles without shipping records."""
+    from repro.sim.trace import CoreTrace, TraceRecord, Workload
+
+    if not isinstance(data, dict):
+        raise RecipeError("workload must be a JSON object")
+    kind = data.get("kind", "records")
+    if kind not in _WORKLOAD_KINDS:
+        raise RecipeError(
+            f"unknown workload kind {kind!r}; known: "
+            f"{sorted(_WORKLOAD_KINDS)}",
+            field="kind",
+        )
+    _require_keys(data, kind)
+    if kind == "trace":
+        body = {k: v for k, v in data.items() if k != "kind"}
+        return trace_ref_from_dict(body)
+    if kind in ("profile", "mt"):
+        app = data.get("app")
+        if not isinstance(app, str) or not app:
+            raise RecipeError(
+                f"{kind!r} workloads need an 'app' profile name",
+                field="app",
+            )
+        from repro.workloads import homogeneous_mix, multithreaded_workload
+
+        build = homogeneous_mix if kind == "profile" else (
+            multithreaded_workload
+        )
+        try:
+            return build(
+                app,
+                cores=int(data.get("cores", 8)),
+                n_accesses=int(data.get("accesses", 20000)),
+                seed=int(data.get("seed", 0)),
+            )
+        except (ValueError, TypeError) as exc:
+            raise RecipeError(str(exc), field="app") from exc
+    cores = data.get("cores")
+    if not isinstance(cores, list) or not cores:
+        raise RecipeError(
+            "a 'records' workload needs a non-empty 'cores' list",
+            field="cores",
+        )
+    traces = []
+    for i, core in enumerate(cores):
+        if not isinstance(core, dict) or "records" not in core:
+            raise RecipeError(
+                f"core {i} must be an object with a 'records' list",
+                field=f"cores.{i}",
+            )
+        try:
+            records = [
+                TraceRecord(int(g), int(a), bool(w), int(pc))
+                for g, a, w, pc in core["records"]
+            ]
+        except (ValueError, TypeError) as exc:
+            raise RecipeError(
+                f"core {i}: records must be [gap, addr, is_write, pc] "
+                f"quadruples ({exc})",
+                field=f"cores.{i}.records",
+            ) from exc
+        traces.append(CoreTrace(records, name=core.get("name", "app")))
+    return Workload(traces, name=data.get("name", "mix"))
+
+
+_RECIPE_KEYS = frozenset({
+    "workload", "scheme", "policy", "scheduling",
+    "scheme_kwargs", "policy_kwargs", "config",
+})
+
+
+def recipe_to_dict(recipe: Any) -> dict[str, Any]:
+    """JSON-ready form of a :class:`~repro.sim.parallel.RunRecipe`.
+
+    The round trip preserves the recipe's content: for any recipe this
+    produced, ``recipe_from_dict(recipe_to_dict(r)).key() == r.key()``,
+    so a submission resolved remotely shares cache entries (and ledger
+    provenance) with the same recipe run locally."""
+    return {
+        "workload": workload_to_dict(recipe.workload),
+        "scheme": recipe.scheme,
+        "policy": recipe.policy,
+        "scheduling": recipe.scheduling,
+        "scheme_kwargs": dict(recipe.scheme_kwargs),
+        "policy_kwargs": dict(recipe.policy_kwargs),
+        "config": config_to_dict(recipe.config),
+    }
+
+
+def _kwargs_tuple(
+    data: dict[str, Any], key: str
+) -> tuple[tuple[str, Any], ...]:
+    value = data.get(key)
+    if value is None:
+        return ()
+    if not isinstance(value, dict):
+        raise RecipeError(f"{key} must be a JSON object", field=key)
+    return tuple(sorted(value.items()))
+
+
+def recipe_from_dict(data: dict[str, Any]) -> Any:
+    """Build a :class:`~repro.sim.parallel.RunRecipe` from its dict form.
+
+    Validates structurally (unknown/missing keys), then semantically:
+    the config constructs through :func:`config_from_dict`, the scheme
+    and policy names must exist, and ``policy="belady"`` forces
+    lock-step scheduling exactly as
+    :func:`~repro.sim.parallel.make_recipe` does.  Rejections raise
+    :class:`RecipeError` with ``field`` naming the offending key."""
+    from repro.sim.parallel import RunRecipe
+
+    if not isinstance(data, dict):
+        raise RecipeError("recipe must be a JSON object")
+    unknown = set(data) - _RECIPE_KEYS
+    if unknown:
+        raise RecipeError(
+            f"unknown recipe keys: {sorted(unknown)}",
+            field=sorted(unknown)[0],
+        )
+    missing = {"workload", "scheme", "config"} - set(data)
+    if missing:
+        raise RecipeError(
+            f"recipe needs keys: {sorted(missing)}",
+            field=sorted(missing)[0],
+        )
+    try:
+        workload = workload_from_dict(data["workload"])
+    except RecipeError as exc:
+        raise _prefixed(exc, "workload") from exc
+    try:
+        config = config_from_dict(data["config"])
+    except RecipeError as exc:
+        raise _prefixed(exc, "config") from exc
+    except ConfigError as exc:
+        raise RecipeError(str(exc), field="config") from exc
+    scheme = data["scheme"]
+    scheme_kwargs = _kwargs_tuple(data, "scheme_kwargs")
+    if not isinstance(scheme, str):
+        raise RecipeError("scheme must be a string", field="scheme")
+    from repro.schemes import make_scheme
+
+    try:
+        make_scheme(scheme, **dict(scheme_kwargs))
+    except (ValueError, TypeError) as exc:
+        raise RecipeError(str(exc), field="scheme") from exc
+    policy = data.get("policy", "lru")
+    policy_kwargs = _kwargs_tuple(data, "policy_kwargs")
+    if not isinstance(policy, str):
+        raise RecipeError("policy must be a string", field="policy")
+    if policy != "belady":
+        from repro.cache.replacement import make_policy
+
+        try:
+            make_policy(policy, **dict(policy_kwargs))
+        except (ValueError, TypeError) as exc:
+            raise RecipeError(str(exc), field="policy") from exc
+    scheduling = data.get("scheduling", "timing")
+    if scheduling not in ("timing", "lockstep"):
+        raise RecipeError(
+            f"unknown scheduling mode {scheduling!r}; known: "
+            f"['timing', 'lockstep']",
+            field="scheduling",
+        )
+    if policy == "belady":
+        scheduling = "lockstep"
+    return RunRecipe(
+        workload=workload,
+        scheme=scheme,
+        config=config,
+        policy=policy,
+        scheduling=scheduling,
+        scheme_kwargs=scheme_kwargs,
+        policy_kwargs=policy_kwargs,
     )

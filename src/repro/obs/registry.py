@@ -179,9 +179,16 @@ def parse_prometheus(text: str) -> dict:
     return out
 
 
-def registry_from_ledger(records: Iterable) -> MetricsRegistry:
-    """Aggregate ledger records into the standard fleet metrics."""
-    reg = MetricsRegistry()
+def registry_from_ledger(
+    records: Iterable, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Aggregate ledger records into the standard fleet metrics.
+
+    ``registry`` (optional) aggregates into an existing registry
+    instead of a fresh one -- the simulation service's ``/metrics``
+    endpoint folds its own job counters and the ledger aggregation into
+    a single exposition this way."""
+    reg = registry if registry is not None else MetricsRegistry()
     reg.counter("repro_runs_total",
                 "completed runs by resolution source and engine")
     reg.counter("repro_simulated_accesses_total",

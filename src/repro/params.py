@@ -353,6 +353,12 @@ class CHARParams:
     reuse_buckets: int = 4  # L2 demand-reuse count saturates at buckets-1
 
 
+#: The simulation engines a configuration may name.  Shared with
+#: ``config_io`` so dict-form validation (and the simulation service's
+#: structured rejection errors) stays in lockstep with the constructor.
+ENGINES: tuple[str, ...] = ("object", "fast")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full description of one simulated CMP configuration."""
@@ -379,7 +385,7 @@ class SystemConfig:
             raise ConfigError("cores must be positive")
         if self.directory_mode not in ("mesi", "zerodev"):
             raise ConfigError(f"unknown directory_mode {self.directory_mode!r}")
-        if self.engine not in ("object", "fast"):
+        if self.engine not in ENGINES:
             raise ConfigError(f"unknown engine {self.engine!r}")
         if self.aggregate_private_blocks >= self.llc.blocks:
             raise ConfigError(

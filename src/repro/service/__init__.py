@@ -1,0 +1,33 @@
+"""Simulation service: async recipe-in / result-out job server.
+
+The service decomposes remote simulation into three separable layers:
+
+* **submission** -- :class:`~repro.service.jobs.JobManager` accepts
+  serialized recipes, deduplicates by content key, and coalesces
+  concurrent submissions of the same recipe onto one execution;
+* **execution** -- the same pure worker function ``run_many`` uses,
+  dispatched onto a persistent process (or thread) pool;
+* **result storage** -- :mod:`repro.sim.parallel`'s memo + disk cache,
+  plus one run-ledger record per resolution.
+
+:mod:`repro.service.server` wraps the manager in a stdlib HTTP/JSON
+surface; :mod:`repro.service.client` speaks it.  See
+``docs/SERVICE.md`` for the protocol walkthrough.
+"""
+
+from repro.service.api import result_to_dict, result_to_json
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JOB_STATES, OUTCOMES, JobManager
+from repro.service.server import ServiceServer, create_server
+
+__all__ = [
+    "JOB_STATES",
+    "OUTCOMES",
+    "JobManager",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "create_server",
+    "result_to_dict",
+    "result_to_json",
+]

@@ -1,0 +1,92 @@
+"""Wire formats of the simulation service.
+
+The submission side is :mod:`repro.config_io` (``recipe_from_dict``
+with its field-attributed :class:`~repro.config_io.RecipeError`
+rejections); this module owns the *response* side: a deterministic
+JSON form of :class:`~repro.sim.engine.SimResult`.
+
+Determinism is a contract, not a nicety: the server serialises every
+result with ``json.dumps(..., sort_keys=True)``, and two clients that
+resolved the same recipe -- whether both were served from one
+execution, or one hit the disk cache a week later -- receive
+**byte-identical payloads**.  The service smoke test and
+``tests/test_service.py`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+
+def _sanitize(value: Any) -> Any:
+    """Deterministic JSON-ready projection of a result substructure.
+
+    Dict keys are stringified (JSON objects only key on strings; int
+    keys in e.g. histogram extras must not round-trip ambiguously),
+    tuples become lists, and anything non-native falls back to
+    ``repr`` -- never silently dropped."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _sanitize(dataclasses.asdict(value))
+    return repr(value)
+
+
+def result_to_dict(result: Any) -> dict:
+    """JSON-ready form of one :class:`~repro.sim.engine.SimResult`.
+
+    Counters come over verbatim (``stats`` is the full
+    :class:`~repro.sim.stats.SimStats` tree, per-core breakdown
+    included); the optional instrumentation attachments collapse to
+    their summaries -- the service serves *results*, not transcripts,
+    and the full telemetry/audit objects stay in the result cache."""
+    stats = _sanitize(dataclasses.asdict(result.stats))
+    audit = None
+    if result.audit is not None:
+        audit = {
+            "ok": result.audit.ok,
+            "violations": len(result.audit.violations),
+            "sweeps": result.audit.sweeps,
+            "truncated": result.audit.truncated,
+        }
+    telemetry = None
+    if result.telemetry is not None:
+        telemetry = {
+            "samples": len(result.telemetry.series),
+            "events": len(result.telemetry.events),
+        }
+    profile = None
+    if result.profile is not None:
+        profile = {
+            "engine": result.profile.engine,
+            "phase_s": _sanitize(dict(result.profile.phase_s)),
+            "attribution": _sanitize(dict(result.profile.attribution)),
+        }
+    return {
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "policy": result.policy,
+        "cycles": result.cycles,
+        "summary": _sanitize(result.stats.summary()),
+        "stats": stats,
+        "ipc_per_core": list(result.ipc_per_core),
+        "scheme_stats": _sanitize(result.scheme_stats),
+        "energy": _sanitize(result.energy),
+        "audit": audit,
+        "telemetry": telemetry,
+        "profile": profile,
+    }
+
+
+def result_to_json(result: Any) -> bytes:
+    """The canonical payload bytes: sorted keys, compact separators --
+    the exact bytes every client of the same recipe receives."""
+    return json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    ).encode()

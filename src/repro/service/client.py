@@ -1,0 +1,167 @@
+"""HTTP client for the simulation service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` -- submit recipes (as dicts or
+:class:`~repro.sim.parallel.RunRecipe` objects, converted via
+``recipe_to_dict``), wait on jobs, fetch results (both parsed and as
+the raw canonical bytes), read the event log, and scrape ``/metrics``.
+Every non-2xx response raises :class:`ServiceError` carrying the
+server's structured error body, including the offending submission
+``field`` for recipe rejections.
+
+``run_recipes`` is the remote-sweep helper: submit a whole recipe grid
+(the server deduplicates and coalesces), then collect payloads in
+submission order -- the client-side analogue of
+:func:`repro.sim.parallel.run_many`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Optional
+
+from repro.config_io import recipe_to_dict
+
+
+class ServiceError(Exception):
+    """A structured error response from the service.
+
+    ``status`` is the HTTP status code, ``type`` the server-side error
+    class name, ``field`` the offending submission field (empty when
+    not attributable)."""
+
+    def __init__(self, status: int, type_: str, message: str,
+                 field: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.type = type_
+        self.field = field
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.field:
+            return f"[{self.status} {self.type}] {base} (field: {self.field})"
+        return f"[{self.status} {self.type}] {base}"
+
+
+class ServiceClient:
+    """A connection-per-request client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                detail = json.loads(raw)["error"]
+            except (ValueError, KeyError, TypeError):
+                raise ServiceError(
+                    exc.code, "HTTPError", raw.decode(errors="replace")
+                ) from exc
+            raise ServiceError(
+                exc.code,
+                detail.get("type", "Error"),
+                detail.get("message", ""),
+                detail.get("field", ""),
+            ) from exc
+
+    def _get_json(self, path: str) -> Any:
+        return json.loads(self._request("GET", path))
+
+    # -- protocol ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def submit(self, recipe: Any) -> dict:
+        """Submit one recipe (a ``RunRecipe`` or an already-serialized
+        dict); returns the job view -- possibly already ``done`` when
+        the server had the result cached."""
+        body = recipe if isinstance(recipe, dict) else recipe_to_dict(recipe)
+        reply = json.loads(self._request("POST", "/v1/jobs", body=body))
+        return reply["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self._get_json(f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> "list[dict]":
+        return self._get_json("/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> dict:
+        """Block (server-side long-poll) until the job is terminal;
+        returns its final view.  Raises :class:`ServiceError` if the
+        job is still not terminal after ``timeout`` seconds."""
+        view = self._get_json(f"/v1/jobs/{job_id}?wait={timeout}")["job"]
+        if view["state"] not in ("done", "failed"):
+            raise ServiceError(
+                408, "Timeout",
+                f"job {job_id} still {view['state']} after {timeout}s",
+            )
+        return view
+
+    def result_bytes(self, job_id: str, timeout: float = 0.0) -> bytes:
+        """The canonical result payload, verbatim -- byte-identical
+        across every client that resolved the same recipe."""
+        path = f"/v1/jobs/{job_id}/result"
+        if timeout > 0:
+            path += f"?wait={timeout}"
+        return self._request("GET", path)
+
+    def result(self, job_id: str, timeout: float = 0.0) -> dict:
+        """The result payload parsed to a dict."""
+        return json.loads(self.result_bytes(job_id, timeout=timeout))
+
+    def events(self, since: int = 0, timeout: float = 0.0) \
+            -> "tuple[list[dict], int]":
+        """Job events after the ``since`` cursor plus the next cursor;
+        ``timeout`` > 0 long-polls for fresh events."""
+        path = f"/v1/events?since={since}"
+        if timeout > 0:
+            path += f"&timeout={timeout}"
+        reply = self._get_json(path)
+        return reply["events"], reply["next"]
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition, verbatim (parse with
+        :func:`repro.obs.registry.parse_prometheus`)."""
+        return self._request("GET", "/metrics").decode()
+
+    # -- sweeps ------------------------------------------------------------
+
+    def run_recipes(self, recipes: Iterable[Any],
+                    timeout: float = 300.0) -> "list[dict]":
+        """Submit every recipe, then wait for all of them; returns the
+        parsed result payloads in submission order.  The server
+        deduplicates: a grid with repeated recipes still executes each
+        distinct key once.  Raises :class:`ServiceError` on the first
+        failed job."""
+        views = [self.submit(r) for r in recipes]
+        payloads: "list[dict]" = []
+        for view in views:
+            final = self.wait(view["id"], timeout=timeout)
+            if final["state"] == "failed":
+                raise ServiceError(
+                    500, "JobFailed",
+                    f"job {final['id']} ({final['workload']}) failed: "
+                    f"{final['error']}",
+                )
+            payloads.append(self.result(final["id"]))
+        return payloads

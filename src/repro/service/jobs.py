@@ -1,0 +1,423 @@
+"""The job layer of the simulation service: submit, dedup, execute.
+
+The ROADMAP's service item names the refactor this module embodies:
+**submission, execution and result storage as separable layers**.
+Storage is :mod:`repro.sim.parallel`'s memo + disk cache, reached
+through its public seam (``lookup_result``/``publish_result``/
+``record_resolution``); execution is the same ``_execute_recipe`` pure
+function ``run_many`` fans out, here dispatched onto a persistent
+worker pool; and submission is this module's :class:`JobManager`.
+
+Dedup semantics (the service's core guarantee):
+
+* a submission whose key is already **stored** resolves immediately
+  (``source`` ``"memo"``/``"disk"``, no execution);
+* a submission whose key is already **in flight** coalesces onto the
+  running job -- it completes when the primary completes, sharing the
+  single execution;
+* otherwise the submission becomes the **primary** job for its key and
+  is dispatched to the pool.
+
+Every resolution appends exactly one run-ledger record: ``"run"`` for
+the primary's fresh execution, ``"memo"``/``"disk"`` for coalesced and
+cache-resolved submissions -- so N concurrent clients submitting one
+recipe leave one fresh record and N-1 cache-hit records, and the
+ledger *proves* the single execution.
+
+Subscribers observe the job stream through a monotonically numbered
+event log (:meth:`JobManager.events_since`); terminal events carry a
+:class:`~repro.sim.telemetry.RunProgress` heartbeat, the same shape
+``run_many --progress`` prints locally.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim import parallel
+
+#: The lifecycle state machine.  ``queued -> running -> done|failed``
+#: for primary jobs; coalesced jobs skip ``running`` (they never own an
+#: execution) and cache-resolved jobs are born ``done``.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Submission outcomes counted for ``/metrics``.
+OUTCOMES = ("fresh", "coalesced", "memo", "disk", "failed", "rejected")
+
+
+def _dispatch_execute(item: "tuple[str, Any]") -> "tuple[str, Any, float]":
+    """Pool entry point: resolve ``parallel._execute_recipe`` at call
+    time (module-level so it pickles under ``spawn``; late-bound so
+    tests can monkeypatch the execution layer without touching the
+    manager)."""
+    return parallel._execute_recipe(item)
+
+
+@dataclass
+class Job:
+    """One submission and its resolution state (internal; JSON views go
+    through :meth:`view`)."""
+
+    id: str
+    key: str
+    recipe: Any
+    state: str = "queued"
+    source: str = ""
+    error: str = ""
+    coalesced_into: str = ""
+    submitted_ts: float = 0.0
+    started_ts: float = 0.0
+    finished_ts: float = 0.0
+    wall_s: float = 0.0
+    accesses: int = 0
+
+    @property
+    def label(self) -> str:
+        r = self.recipe
+        return f"{r.scheme}/{r.policy}: {r.workload.name}"
+
+    def view(self) -> dict:
+        """JSON-ready snapshot of this job."""
+        r = self.recipe
+        return {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "source": self.source,
+            "error": self.error,
+            "coalesced_into": self.coalesced_into,
+            "scheme": r.scheme,
+            "policy": r.policy,
+            "scheduling": r.scheduling,
+            "workload": r.workload.name,
+            "engine": r.config.engine,
+            "submitted_ts": self.submitted_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "wall_s": self.wall_s,
+            "accesses": self.accesses,
+        }
+
+
+@dataclass
+class _Tally:
+    """Fleet accounting for RunProgress heartbeats + /metrics."""
+
+    submitted: int = 0
+    completed: int = 0
+    from_memo: int = 0
+    from_disk: int = 0
+    simulated: int = 0
+    failed: int = 0
+    rejected: int = 0
+    accesses: int = 0
+    fresh_accesses: int = 0
+    fresh_wall_s: float = 0.0
+    started_ts: float = field(default_factory=time.time)
+
+
+class JobManager:
+    """Accepts recipe submissions, deduplicates them by content key,
+    executes misses on a worker pool, and records every resolution in
+    the run ledger.
+
+    ``mode="process"`` (the default) executes on a
+    ``ProcessPoolExecutor`` using the same start method as
+    ``run_many`` (``REPRO_MP_START``); ``mode="thread"`` executes
+    in-process on a thread pool -- same semantics, no fork cost, the
+    right choice for tests, docs and tiny workloads."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 mode: str = "process") -> None:
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.mode = mode
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: "dict[str, Job]" = {}
+        self._inflight: "dict[str, str]" = {}  # key -> primary job id
+        self._waiters: "dict[str, list[str]]" = {}  # key -> coalesced ids
+        self._events: "list[dict]" = []
+        self._seq = itertools.count(1)
+        self._next_seq = 1
+        self._job_ids = itertools.count(1)
+        self._tally = _Tally()
+        self._outcomes = {name: 0 for name in OUTCOMES}
+        self._last_progress: Optional[dict] = None
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._closed = False
+
+    # -- executor ----------------------------------------------------------
+
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        if self._executor is None:
+            if self.mode == "process":
+                ctx = multiprocessing.get_context(parallel._start_method())
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            else:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-service",
+                )
+        return self._executor
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, recipe: Any) -> dict:
+        """Submit one recipe; returns the job's view immediately (the
+        job may already be ``done`` when the result was cached)."""
+        key = recipe.key()
+        now = time.time()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is closed")
+            job = Job(id=f"j{next(self._job_ids)}", key=key,
+                      recipe=recipe, submitted_ts=now)
+            self._jobs[job.id] = job
+            self._tally.submitted += 1
+            hit = parallel.lookup_result(key)
+            if hit is not None:
+                result, source = hit
+                self._resolve(job, result, source, 0.0)
+                self._publish("done", job)
+                return job.view()
+            primary = self._inflight.get(key)
+            if primary is not None:
+                job.coalesced_into = primary
+                self._outcomes["coalesced"] += 1
+                self._waiters.setdefault(key, []).append(job.id)
+                self._publish("queued", job)
+                return job.view()
+            self._inflight[key] = job.id
+            job.state = "running"
+            job.started_ts = now
+            self._outcomes["fresh"] += 1
+            # Publish BEFORE dispatching: a tiny job can complete before
+            # add_done_callback registers, which runs _on_future inline
+            # in this thread (the RLock is reentrant) -- publishing
+            # afterwards would order 'running' after 'done'.
+            self._publish("running", job)
+            future = self._ensure_executor().submit(
+                _dispatch_execute, (key, recipe)
+            )
+            future.add_done_callback(
+                lambda f, key=key: self._on_future(key, f)
+            )
+            return job.view()
+
+    def record_rejection(self) -> None:
+        """Count one rejected submission (a 400 at the HTTP layer)."""
+        with self._lock:
+            self._tally.rejected += 1
+            self._outcomes["rejected"] += 1
+
+    # -- completion --------------------------------------------------------
+
+    def _on_future(self, key: str, future: "concurrent.futures.Future") \
+            -> None:
+        try:
+            _key, result, wall_s = future.result()
+        except BaseException as exc:  # noqa: BLE001 - job must record it
+            self._on_error(key, exc)
+            return
+        with self._lock:
+            parallel.publish_result(key, result)
+            primary_id = self._inflight.pop(key, None)
+            waiting = self._waiters.pop(key, [])
+            if primary_id is not None:
+                primary = self._jobs[primary_id]
+                self._resolve(primary, result, "run", wall_s)
+                self._publish("done", primary)
+            for jid in waiting:
+                waiter = self._jobs[jid]
+                self._resolve(waiter, result, "memo", 0.0)
+                self._publish("done", waiter)
+            self._cond.notify_all()
+
+    def _on_error(self, key: str, exc: BaseException) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            primary_id = self._inflight.pop(key, None)
+            waiting = self._waiters.pop(key, [])
+            for jid in ([primary_id] if primary_id else []) + waiting:
+                job = self._jobs[jid]
+                job.state = "failed"
+                job.error = message
+                job.finished_ts = time.time()
+                self._tally.failed += 1
+                self._outcomes["failed"] += 1
+                self._publish("failed", job)
+            self._cond.notify_all()
+
+    def _resolve(self, job: Job, result: Any, source: str,
+                 wall_s: float) -> None:
+        """Complete one job from a result (lock held): ledger record,
+        tallies, state."""
+        job.state = "done"
+        job.source = source
+        job.finished_ts = time.time()
+        job.wall_s = wall_s
+        job.accesses = result.stats.total_accesses
+        parallel.record_resolution(job.recipe, job.key, result, source,
+                                   wall_s)
+        t = self._tally
+        t.completed += 1
+        t.accesses += job.accesses
+        if source == "run":
+            t.simulated += 1
+            t.fresh_accesses += job.accesses
+            t.fresh_wall_s += wall_s
+        elif source == "memo":
+            t.from_memo += 1
+            self._outcomes["memo"] += 1
+        elif source == "disk":
+            t.from_disk += 1
+            self._outcomes["disk"] += 1
+        self._cond.notify_all()
+
+    # -- progress / events -------------------------------------------------
+
+    def _progress(self, job: Job) -> dict:
+        """A :class:`~repro.sim.telemetry.RunProgress`-shaped heartbeat
+        for one resolved job (lock held)."""
+        import dataclasses
+
+        from repro.sim.telemetry import RunProgress
+
+        t = self._tally
+        rate = (
+            t.fresh_accesses / t.fresh_wall_s if t.fresh_wall_s > 0
+            else 0.0
+        )
+        return dataclasses.asdict(RunProgress(
+            completed=t.completed,
+            total=t.submitted,
+            label=job.label,
+            source=job.source or "failed",
+            from_memo=t.from_memo,
+            from_disk=t.from_disk,
+            simulated=t.simulated,
+            elapsed_s=time.time() - t.started_ts,
+            accesses=t.accesses,
+            accesses_per_s=rate,
+            eta_s=None,
+            key=job.key,
+            engine=job.recipe.config.engine,
+        ))
+
+    def _publish(self, kind: str, job: Job) -> None:
+        """Append one event to the subscriber log (lock held)."""
+        event = {
+            "seq": next(self._seq),
+            "ts": time.time(),
+            "kind": kind,
+            "job": job.view(),
+        }
+        if kind in ("done", "failed"):
+            progress = self._progress(job)
+            event["progress"] = progress
+            self._last_progress = progress
+        self._events.append(event)
+        self._next_seq = event["seq"] + 1
+        self._cond.notify_all()
+
+    def events_since(self, seq: int = 0, timeout: float = 0.0) \
+            -> "tuple[list[dict], int]":
+        """Events with ``seq`` greater than the cursor, plus the next
+        cursor value.  ``timeout`` > 0 long-polls until at least one
+        new event arrives (or the deadline passes)."""
+        with self._cond:
+            if timeout > 0:
+                self._cond.wait_for(
+                    lambda: self._next_seq > seq + 1 or self._closed,
+                    timeout=timeout,
+                )
+            fresh = [e for e in self._events if e["seq"] > seq]
+            return fresh, self._next_seq - 1
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.view() if job is not None else None
+
+    def jobs(self) -> "list[dict]":
+        with self._lock:
+            return [job.view() for job in self._jobs.values()]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Optional[dict]:
+        """Block until the job reaches a terminal state (or the timeout
+        passes); returns the job's view, None for unknown ids."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            self._cond.wait_for(
+                lambda: job.state in ("done", "failed"), timeout=timeout
+            )
+            return job.view()
+
+    def result(self, job_id: str) -> Optional[Any]:
+        """The :class:`~repro.sim.engine.SimResult` of a ``done`` job
+        (None otherwise)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "done":
+                return None
+            hit = parallel.lookup_result(job.key)
+            return hit[0] if hit is not None else None
+
+    # -- metrics -----------------------------------------------------------
+
+    def fill_registry(self, registry: Any) -> None:
+        """Add the service-level metrics to a
+        :class:`~repro.obs.registry.MetricsRegistry`."""
+        registry.counter(
+            "repro_service_jobs_total",
+            "service submissions by outcome (fresh executions, "
+            "coalesced/memo/disk dedup hits, failures, rejections)",
+        )
+        registry.gauge("repro_service_jobs_inflight",
+                       "keys currently executing on the worker pool")
+        registry.gauge("repro_service_workers",
+                       "configured worker-pool width")
+        with self._lock:
+            for outcome in OUTCOMES:
+                registry.inc(
+                    "repro_service_jobs_total", {"outcome": outcome},
+                    self._outcomes[outcome],
+                )
+            registry.set("repro_service_jobs_inflight", None,
+                         len(self._inflight))
+            registry.set("repro_service_workers", None, self.workers)
+            if self._last_progress is not None:
+                from repro.sim.telemetry import RunProgress
+
+                registry.observe_progress(
+                    RunProgress(**self._last_progress)
+                )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+            self._cond.notify_all()
+        if executor is not None:
+            executor.shutdown(wait=wait)

@@ -1,0 +1,377 @@
+"""The HTTP/JSON surface of the simulation service (stdlib only).
+
+A :class:`ServiceServer` wraps a ``ThreadingHTTPServer`` (one thread
+per connection, daemonic) around a :class:`~repro.service.jobs.
+JobManager`.  Endpoints -- the authoritative reference with examples
+lives in ``docs/SERVICE.md``:
+
+====================================  =====================================
+``GET  /``                            service + endpoint index
+``GET  /healthz``                     liveness probe with job tallies
+``POST /v1/jobs``                     submit one recipe dict -> job view
+``GET  /v1/jobs``                     all job views
+``GET  /v1/jobs/<id>``                one job view (``?wait=S`` blocks
+                                      until terminal)
+``GET  /v1/jobs/<id>/result``         deterministic result payload
+                                      (``?wait=S`` blocks)
+``GET  /v1/events``                   job-event log (``?since=N`` cursor,
+                                      ``?timeout=S`` long-poll)
+``GET  /v1/events/stream``            the same log as Server-Sent Events
+``GET  /metrics``                     Prometheus text exposition (ledger
+                                      aggregation + service counters)
+====================================  =====================================
+
+Error contract: every non-2xx response is structured JSON --
+``{"error": {"type", "message", "field"}}`` -- where ``field`` names
+the offending submission key (``"config.engine"``) when one is
+attributable.  A malformed recipe is a 400 with its field, never a
+bare 500; unexpected server faults are 500s that still carry the
+structured body.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.config_io import RecipeError, recipe_from_dict
+from repro.params import ConfigError
+from repro.service.api import result_to_json
+from repro.service.jobs import JobManager
+
+#: Bounds on ``?wait=``/``?timeout=`` so a client cannot pin a server
+#: thread forever.
+MAX_WAIT_S = 300.0
+
+
+class _RequestError(Exception):
+    """Internal: maps straight to one structured JSON error response."""
+
+    def __init__(self, status: int, type_: str, message: str,
+                 field: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.type_ = type_
+        self.field = field
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass carries the manager.
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, obj: Any) -> None:
+        self._send_bytes(
+            status,
+            json.dumps(obj, sort_keys=True).encode(),
+            "application/json",
+        )
+
+    def _send_error_json(self, err: _RequestError) -> None:
+        self._send_json(err.status, {"error": {
+            "type": err.type_,
+            "message": str(err),
+            "field": err.field,
+        }})
+
+    def _query(self) -> "dict[str, str]":
+        return {
+            k: v[-1] for k, v in parse_qs(urlsplit(self.path).query).items()
+        }
+
+    def _wait_seconds(self, query: "dict[str, str]", key: str) -> float:
+        raw = query.get(key)
+        if raw is None:
+            return 0.0
+        try:
+            return max(0.0, min(float(raw), MAX_WAIT_S))
+        except ValueError:
+            raise _RequestError(
+                400, "BadRequest", f"{key} must be a number", field=key
+            ) from None
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            raise _RequestError(400, "BadRequest",
+                                "request needs a JSON body")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _RequestError(
+                400, "BadRequest", f"invalid JSON body: {exc}"
+            ) from exc
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            handler = self._route(method, path)
+            if handler is None:
+                raise _RequestError(
+                    404, "NotFound", f"no such endpoint: {method} {path}"
+                )
+            handler()
+        except _RequestError as err:
+            self._send_error_json(err)
+        except BrokenPipeError:  # subscriber went away mid-stream
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - structured 500, not bare
+            self._send_error_json(_RequestError(
+                500, type(exc).__name__, str(exc)
+            ))
+
+    def _route(self, method: str, path: str) -> Optional[Any]:
+        if method == "GET":
+            fixed = {
+                "/": self._get_index,
+                "/healthz": self._get_health,
+                "/v1/jobs": self._get_jobs,
+                "/v1/events": self._get_events,
+                "/v1/events/stream": self._get_events_stream,
+                "/metrics": self._get_metrics,
+            }
+            if path in fixed:
+                return fixed[path]
+            if path.startswith("/v1/jobs/"):
+                rest = path[len("/v1/jobs/"):]
+                if rest.endswith("/result"):
+                    job_id = rest[: -len("/result")]
+                    return lambda: self._get_result(job_id)
+                if "/" not in rest:
+                    return lambda: self._get_job(rest)
+            return None
+        if method == "POST" and path == "/v1/jobs":
+            return self._post_job
+        return None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _get_index(self) -> None:
+        self._send_json(200, {
+            "service": "repro-simulation-service",
+            "endpoints": [
+                "GET /healthz",
+                "POST /v1/jobs",
+                "GET /v1/jobs",
+                "GET /v1/jobs/<id>",
+                "GET /v1/jobs/<id>/result",
+                "GET /v1/events",
+                "GET /v1/events/stream",
+                "GET /metrics",
+            ],
+        })
+
+    def _get_health(self) -> None:
+        jobs = self.manager.jobs()
+        states: "dict[str, int]" = {}
+        for view in jobs:
+            states[view["state"]] = states.get(view["state"], 0) + 1
+        self._send_json(200, {"ok": True, "jobs": states,
+                              "workers": self.manager.workers,
+                              "mode": self.manager.mode})
+
+    def _post_job(self) -> None:
+        data = self._read_json_body()
+        try:
+            recipe = recipe_from_dict(data)
+        except RecipeError as exc:
+            self.manager.record_rejection()
+            raise _RequestError(400, "RecipeError", str(exc),
+                                field=exc.field) from exc
+        except ConfigError as exc:
+            self.manager.record_rejection()
+            raise _RequestError(400, "ConfigError", str(exc)) from exc
+        view = self.manager.submit(recipe)
+        self._send_json(202, {"job": view})
+
+    def _get_jobs(self) -> None:
+        self._send_json(200, {"jobs": self.manager.jobs()})
+
+    def _get_job(self, job_id: str) -> None:
+        wait_s = self._wait_seconds(self._query(), "wait")
+        if wait_s > 0:
+            view = self.manager.wait(job_id, timeout=wait_s)
+        else:
+            view = self.manager.get(job_id)
+        if view is None:
+            raise _RequestError(404, "NotFound",
+                                f"unknown job {job_id!r}")
+        self._send_json(200, {"job": view})
+
+    def _get_result(self, job_id: str) -> None:
+        wait_s = self._wait_seconds(self._query(), "wait")
+        view = (
+            self.manager.wait(job_id, timeout=wait_s) if wait_s > 0
+            else self.manager.get(job_id)
+        )
+        if view is None:
+            raise _RequestError(404, "NotFound",
+                                f"unknown job {job_id!r}")
+        if view["state"] == "failed":
+            raise _RequestError(409, "JobFailed", view["error"])
+        if view["state"] != "done":
+            raise _RequestError(
+                409, "JobNotDone",
+                f"job {job_id} is {view['state']}; poll or pass ?wait=S",
+            )
+        result = self.manager.result(job_id)
+        if result is None:  # result cache disabled and memo evicted
+            raise _RequestError(
+                410, "ResultGone",
+                f"result for job {job_id} is no longer stored",
+            )
+        self._send_bytes(200, result_to_json(result), "application/json")
+
+    def _get_events(self) -> None:
+        query = self._query()
+        try:
+            since = int(query.get("since", "0"))
+        except ValueError:
+            raise _RequestError(400, "BadRequest",
+                                "since must be an integer",
+                                field="since") from None
+        timeout = self._wait_seconds(query, "timeout")
+        events, cursor = self.manager.events_since(since, timeout=timeout)
+        self._send_json(200, {"events": events, "next": cursor})
+
+    def _get_events_stream(self) -> None:
+        """Server-Sent Events: one ``data:`` line per job event, from
+        the ``since`` cursor onward, until the client disconnects or
+        the server shuts down."""
+        query = self._query()
+        cursor = int(query.get("since", "0") or 0)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        while not getattr(self.server, "stopping", False):
+            events, cursor = self.manager.events_since(
+                cursor, timeout=1.0
+            )
+            for event in events:
+                line = json.dumps(event, sort_keys=True)
+                self.wfile.write(f"data: {line}\n\n".encode())
+            if events:
+                self.wfile.flush()
+
+    def _get_metrics(self) -> None:
+        from repro.obs.ledger import read_ledger
+        from repro.obs.registry import MetricsRegistry, registry_from_ledger
+
+        registry = MetricsRegistry()
+        self.manager.fill_registry(registry)
+        registry_from_ledger(read_ledger(), registry=registry)
+        self._send_bytes(
+            200, registry.to_prometheus().encode(),
+            "text/plain; version=0.0.4",
+        )
+
+
+class ServiceServer:
+    """One simulation-service instance: HTTP front, job manager back.
+
+    ``start()`` serves on a daemon thread (the in-process form the
+    docs and tests use); ``serve_forever()`` serves on the calling
+    thread (the ``repro serve`` CLI).  ``close()`` is idempotent and
+    shuts down both the HTTP listener and the worker pool."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: Optional[int] = None, mode: str = "process",
+                 verbose: bool = False) -> None:
+        self.manager = JobManager(workers=workers, mode=mode)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.manager = self.manager  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.stopping = False  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]  # type: ignore[return-value]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.stopping = True  # type: ignore[attr-defined]
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.manager.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0,
+                  workers: Optional[int] = None, mode: str = "process",
+                  verbose: bool = False) -> ServiceServer:
+    """Build (but do not start) a service instance.  ``port=0`` binds a
+    free ephemeral port -- read it back from ``server.port``/
+    ``server.url``."""
+    return ServiceServer(host=host, port=port, workers=workers,
+                         mode=mode, verbose=verbose)

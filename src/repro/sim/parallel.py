@@ -365,6 +365,32 @@ def clear_result_cache() -> int:
 # ---------------------------------------------------------------------------
 
 
+def lookup_result(key: str) -> "Optional[tuple[SimResult, str]]":
+    """Resolve one recipe key through the *storage* layers only: the
+    in-process memo, then (when enabled) the disk cache.  Returns
+    ``(result, source)`` with source ``"memo"`` or ``"disk"``, or None
+    on a miss.  No simulation, no ledger append -- callers that resolve
+    a submission through this layer own the provenance record (see
+    :func:`record_resolution`).  Disk hits are promoted into the memo."""
+    result = _MEMO.get(key)
+    if result is not None:
+        return result, "memo"
+    if cache_enabled():
+        result = load_result(key)
+        if result is not None:
+            _MEMO[key] = result
+            return result, "disk"
+    return None
+
+
+def publish_result(key: str, result: SimResult) -> None:
+    """Write one completed result back to both storage layers (the
+    in-process memo always, the disk cache when enabled)."""
+    _MEMO[key] = result
+    if cache_enabled():
+        store_result(key, result)
+
+
 def fetch_or_run(recipe: RunRecipe) -> SimResult:
     """Resolve one recipe through the cache layers: in-process memo, then
     disk, then a fresh (serial) simulation.  Completed runs are written
@@ -378,27 +404,36 @@ def _fetch_with_source(recipe: RunRecipe) -> "tuple[SimResult, str]":
     heartbeats.  Every resolution -- cache hit or fresh -- appends one
     record to the run ledger (:mod:`repro.obs.ledger`)."""
     key = recipe.key()
-    result = _MEMO.get(key)
-    if result is not None:
-        _ledger_append(recipe, key, result, "memo", 0.0)
-        return result, "memo"
-    if cache_enabled():
-        result = load_result(key)
-        if result is not None:
-            _MEMO[key] = result
-            _ledger_append(recipe, key, result, "disk", 0.0)
-            return result, "disk"
+    hit = lookup_result(key)
+    if hit is not None:
+        result, source = hit
+        _ledger_append(recipe, key, result, source, 0.0)
+        return result, source
     # Wall time feeds the ledger record only (observability, never a
     # SimResult), so the clock reads are suppressed like the
     # ProgressTracker's.
     t0 = time.perf_counter()  # repro-lint: ignore[determinism]
     result = recipe.execute()
     wall_s = time.perf_counter() - t0  # repro-lint: ignore[determinism]
-    _MEMO[key] = result
-    if cache_enabled():
-        store_result(key, result)
+    publish_result(key, result)
     _ledger_append(recipe, key, result, "run", wall_s)
     return result, "run"
+
+
+def record_resolution(
+    recipe: RunRecipe,
+    key: str,
+    result: SimResult,
+    source: str,
+    wall_s: float,
+) -> None:
+    """Append the run-ledger provenance record for one resolved
+    submission (best-effort, parent-process only).  The public seam for
+    resolution layers built on :func:`lookup_result`/
+    :func:`publish_result` -- the simulation service records exactly one
+    ``"run"`` per fresh execution and one ``"memo"``/``"disk"`` per
+    deduplicated or cache-resolved submission through this call."""
+    _ledger_append(recipe, key, result, source, wall_s)
 
 
 def _ledger_append(
@@ -535,23 +570,15 @@ def run_many(
     for i, (recipe, key) in enumerate(zip(recipes, keys)):
         if key in pending:
             continue
-        if key in _MEMO:
-            _ledger_append(recipe, key, _MEMO[key], "memo", 0.0)
+        hit = lookup_result(key)
+        if hit is not None:
+            cached, source = hit
+            _ledger_append(recipe, key, cached, source, 0.0)
             if tracker is not None:
-                heartbeat(tracker.advance(label_of(i, recipe), "memo",
-                                          _MEMO[key], key=key,
+                heartbeat(tracker.advance(label_of(i, recipe), source,
+                                          cached, key=key,
                                           engine=recipe.config.engine))
             continue
-        if cache_enabled():
-            cached = load_result(key)
-            if cached is not None:
-                _MEMO[key] = cached
-                _ledger_append(recipe, key, cached, "disk", 0.0)
-                if tracker is not None:
-                    heartbeat(tracker.advance(label_of(i, recipe), "disk",
-                                              cached, key=key,
-                                              engine=recipe.config.engine))
-                continue
         pending[key] = recipe
         pending_label[key] = label_of(i, recipe)
     if tracker is not None:
@@ -591,9 +618,7 @@ def run_many(
                                           key=key,
                                           engine=pending[key].config.engine))
         for key, result, _wall_s in completed:
-            _MEMO[key] = result
-            if cache_enabled():
-                store_result(key, result)
+            publish_result(key, result)
 
     out = []
     for i, (recipe, key) in enumerate(zip(recipes, keys)):

@@ -27,6 +27,7 @@ DOC_FILES = (
     "docs/API.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
+    "docs/SERVICE.md",
     "docs/STATIC_ANALYSIS.md",
     "docs/TRACES.md",
 )

@@ -1,0 +1,500 @@
+"""Simulation service tests: recipe wire forms, field-attributed
+rejections, job-manager dedup, and the HTTP surface end to end.
+
+The HTTP tests run a real :class:`~repro.service.server.ServiceServer`
+on an ephemeral port in ``mode="thread"`` (one CPU in CI; thread
+workers keep semantics identical without fork cost) and talk to it
+through :class:`~repro.service.client.ServiceClient` -- real sockets,
+real JSON, nothing mocked but the clock-free workloads."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.config_io import (
+    ConfigError,
+    RecipeError,
+    config_to_dict,
+    recipe_from_dict,
+    recipe_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.params import (
+    CacheGeometry,
+    DirectoryGeometry,
+    LLCGeometry,
+    SystemConfig,
+)
+from repro.sim.parallel import RunRecipe
+from repro.workloads import homogeneous_mix
+
+_UNIQUE = itertools.count()
+
+
+def tiny_config(engine: str = "object") -> SystemConfig:
+    """A miniature CMP (mirrors conftest.tiny_config) so service jobs
+    resolve in milliseconds."""
+    return SystemConfig(
+        cores=2,
+        l1=CacheGeometry(sets=1, ways=2),
+        l2=CacheGeometry(sets=2, ways=4),
+        llc=LLCGeometry(banks=2, sets_per_bank=4, ways=4),
+        directory=DirectoryGeometry(sets=2, ways=8),
+        engine=engine,
+    )
+
+
+def make_recipe(scheme: str = "inclusive", policy: str = "lru",
+                accesses: int = 120, unique: bool = True) -> RunRecipe:
+    """A tiny, fast recipe; ``unique`` gives the workload a fresh name
+    so the cross-test in-process memo can never satisfy it."""
+    wl = homogeneous_mix("xalancbmk.2", cores=2, n_accesses=accesses)
+    if unique:
+        wl.name = f"svc-test-{next(_UNIQUE)}"
+    return RunRecipe(workload=wl, scheme=scheme, policy=policy,
+                     config=tiny_config())
+
+
+# ---------------------------------------------------------------------------
+# recipe wire forms
+
+
+def test_recipe_dict_round_trip_preserves_key():
+    recipe = make_recipe(scheme="ziv:likelydead", policy="srrip")
+    rebuilt = recipe_from_dict(recipe_to_dict(recipe))
+    assert rebuilt.key() == recipe.key()
+    assert rebuilt.workload.name == recipe.workload.name
+    assert rebuilt.scheme == recipe.scheme
+    assert rebuilt.policy == recipe.policy
+
+
+def test_recipe_round_trip_keeps_kwargs_and_scheduling():
+    recipe = RunRecipe(
+        workload=homogeneous_mix("gcc.1", cores=2, n_accesses=60),
+        scheme="qbs",
+        policy="srrip",
+        scheduling="lockstep",
+        policy_kwargs=(("rrpv_bits", 2),),
+        config=tiny_config(),
+    )
+    rebuilt = recipe_from_dict(recipe_to_dict(recipe))
+    assert rebuilt.key() == recipe.key()
+    assert rebuilt.policy_kwargs == (("rrpv_bits", 2),)
+    assert rebuilt.scheduling == "lockstep"
+
+
+def test_workload_profile_form_synthesizes_deterministically():
+    data = {"kind": "profile", "app": "gcc.1", "cores": 2, "accesses": 80}
+    built = workload_from_dict(data)
+    direct = homogeneous_mix("gcc.1", cores=2, n_accesses=80)
+    assert built.fingerprint() == direct.fingerprint()
+
+
+def test_workload_records_form_round_trips_fingerprint():
+    wl = homogeneous_mix("mcf.1", cores=2, n_accesses=50)
+    rebuilt = workload_from_dict(workload_to_dict(wl))
+    assert rebuilt.fingerprint() == wl.fingerprint()
+
+
+def test_belady_policy_coerces_to_lockstep():
+    d = recipe_to_dict(make_recipe())
+    d["policy"] = "belady"
+    assert recipe_from_dict(d).scheduling == "lockstep"
+
+
+# ---------------------------------------------------------------------------
+# field-attributed rejections (satellite: structured errors, both paths)
+
+
+def _rejection(data) -> RecipeError:
+    with pytest.raises(RecipeError) as excinfo:
+        recipe_from_dict(data)
+    return excinfo.value
+
+
+def test_unknown_engine_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["config"]["engine"] = "warp"
+    err = _rejection(d)
+    assert err.field == "config.engine"
+    assert "warp" in str(err)
+
+
+def test_bad_config_section_key_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["config"]["l2"]["bogus_ways"] = 4
+    err = _rejection(d)
+    assert err.field == "config.l2.bogus_ways"
+
+
+def test_unknown_recipe_key_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["frobnicate"] = 1
+    assert _rejection(d).field == "frobnicate"
+
+
+def test_missing_required_key_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    del d["scheme"]
+    assert _rejection(d).field == "scheme"
+
+
+def test_unknown_scheme_and_policy_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["scheme"] = "nonesuch"
+    assert _rejection(d).field == "scheme"
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["policy"] = "nonesuch"
+    assert _rejection(d).field == "policy"
+
+
+def test_unknown_workload_kind_rejected_with_field():
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["workload"] = {"kind": "quantum"}
+    assert _rejection(d).field == "workload.kind"
+
+
+def test_recipe_error_is_a_config_error():
+    # Existing load_config callers that catch ConfigError keep working.
+    assert issubclass(RecipeError, ConfigError)
+
+
+# ---------------------------------------------------------------------------
+# job manager: dedup + coalescing (no HTTP)
+
+
+def test_manager_coalesces_inflight_submissions(monkeypatch):
+    """Three submissions of one recipe while its execution is gated:
+    exactly one execution, one 'run' + two 'memo' ledger records."""
+    from repro.obs.ledger import read_ledger
+    from repro.service.jobs import JobManager
+    from repro.sim import parallel
+
+    gate = threading.Event()
+    executions = []
+    real = parallel._execute_recipe
+
+    def gated(item):
+        executions.append(item[0])
+        assert gate.wait(timeout=30)
+        return real(item)
+
+    monkeypatch.setattr(parallel, "_execute_recipe", gated)
+    recipe = make_recipe()
+    manager = JobManager(workers=2, mode="thread")
+    try:
+        views = [manager.submit(recipe) for _ in range(3)]
+        assert views[0]["state"] == "running"
+        assert views[1]["coalesced_into"] == views[0]["id"]
+        assert views[2]["coalesced_into"] == views[0]["id"]
+        gate.set()
+        finals = [manager.wait(v["id"], timeout=30) for v in views]
+        assert [v["state"] for v in finals] == ["done"] * 3
+        assert sorted(v["source"] for v in finals) == ["memo", "memo", "run"]
+        assert executions == [recipe.key()]
+        ledger = [r.source for r in read_ledger()
+                  if r.recipe_key == recipe.key()]
+        assert sorted(ledger) == ["memo", "memo", "run"]
+        results = [manager.result(v["id"]) for v in views]
+        assert all(r is results[0] for r in results)
+    finally:
+        gate.set()
+        manager.close()
+
+
+def test_manager_resolves_memo_hits_without_execution(monkeypatch):
+    from repro.service.jobs import JobManager
+    from repro.sim import parallel
+
+    recipe = make_recipe()
+    manager = JobManager(workers=1, mode="thread")
+    try:
+        first = manager.wait(manager.submit(recipe)["id"], timeout=30)
+        assert first["source"] == "run"
+
+        def boom(item):  # pragma: no cover - must never run
+            raise AssertionError("cache hit must not execute")
+
+        monkeypatch.setattr(parallel, "_execute_recipe", boom)
+        second = manager.submit(recipe)
+        assert second["state"] == "done"
+        assert second["source"] in ("memo", "disk")
+    finally:
+        manager.close()
+
+
+def test_manager_records_failures(monkeypatch):
+    from repro.service.jobs import JobManager
+    from repro.sim import parallel
+
+    def boom(item):
+        raise RuntimeError("engine exploded")
+
+    monkeypatch.setattr(parallel, "_execute_recipe", boom)
+    manager = JobManager(workers=1, mode="thread")
+    try:
+        view = manager.wait(manager.submit(make_recipe())["id"], timeout=30)
+        assert view["state"] == "failed"
+        assert "engine exploded" in view["error"]
+        assert manager.result(view["id"]) is None
+    finally:
+        manager.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface
+
+
+@pytest.fixture
+def service():
+    from repro.service import ServiceClient, create_server
+
+    server = create_server(port=0, workers=2, mode="thread").start()
+    try:
+        yield server, ServiceClient(server.url, timeout=30)
+    finally:
+        server.close()
+
+
+def test_http_submit_wait_result(service):
+    server, client = service
+    recipe = make_recipe()
+    view = client.submit(recipe)
+    assert view["state"] in ("running", "done")
+    final = client.wait(view["id"], timeout=30)
+    assert final["state"] == "done"
+    assert final["source"] == "run"
+    payload = client.result(final["id"])
+    assert payload["scheme"] == "inclusive"
+    assert payload["workload"] == recipe.workload.name
+    assert payload["summary"]["accesses"] == recipe.workload.total_accesses()
+    assert payload["cycles"] > 0
+    assert len(payload["ipc_per_core"]) == 2
+
+
+def test_http_duplicate_submission_is_byte_identical(service):
+    server, client = service
+    d = recipe_to_dict(make_recipe())
+    first = client.wait(client.submit(d)["id"], timeout=30)
+    second = client.submit(d)
+    assert second["state"] == "done"
+    assert second["source"] in ("memo", "disk")
+    assert client.result_bytes(first["id"]) == \
+        client.result_bytes(second["id"])
+
+
+def test_http_rejects_bad_engine_with_field(service):
+    from repro.service import ServiceError
+
+    server, client = service
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["config"]["engine"] = "warp"
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit(d)
+    err = excinfo.value
+    assert err.status == 400
+    assert err.type == "RecipeError"
+    assert err.field == "config.engine"
+
+
+def test_http_rejects_bad_section_key_with_field(service):
+    from repro.service import ServiceError
+
+    server, client = service
+    d = recipe_to_dict(make_recipe(unique=False))
+    d["config"]["llc"]["warp_factor"] = 9
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit(d)
+    assert excinfo.value.status == 400
+    assert excinfo.value.field == "config.llc.warp_factor"
+
+
+def test_http_rejects_malformed_json_body(service):
+    import urllib.error
+    import urllib.request
+
+    server, client = service
+    req = urllib.request.Request(
+        server.url + "/v1/jobs", data=b"{not json",
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(req, timeout=10)
+    assert excinfo.value.code == 400
+
+
+def test_http_unknown_job_is_404(service):
+    from repro.service import ServiceError
+
+    server, client = service
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("j999999")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.result("j999999")
+    assert excinfo.value.status == 404
+
+
+def test_http_unknown_endpoint_is_404(service):
+    from repro.service import ServiceError
+
+    server, client = service
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/v1/warp")
+    assert excinfo.value.status == 404
+
+
+def test_http_events_and_health(service):
+    server, client = service
+    assert client.health()["ok"] is True
+    view = client.submit(make_recipe())
+    client.wait(view["id"], timeout=30)
+    events, cursor = client.events(0)
+    kinds = [e["kind"] for e in events if e["job"]["id"] == view["id"]]
+    assert kinds[-1] == "done"
+    done = [e for e in events if e["kind"] == "done"][-1]
+    assert done["progress"]["completed"] >= 1
+    assert cursor >= len(events)
+    later, _ = client.events(cursor)
+    assert later == []
+
+
+def test_http_metrics_expose_service_counters(service):
+    from repro.obs.registry import parse_prometheus
+    from repro.service import ServiceError
+
+    server, client = service
+    d = recipe_to_dict(make_recipe())
+    client.wait(client.submit(d)["id"], timeout=30)
+    client.submit(d)  # memo hit
+    bad = recipe_to_dict(make_recipe(unique=False))
+    bad["config"]["engine"] = "warp"
+    with pytest.raises(ServiceError):
+        client.submit(bad)
+    metrics = parse_prometheus(client.metrics())
+    total = ("repro_service_jobs_total",)
+
+    def outcome(name):
+        return metrics.get(
+            ("repro_service_jobs_total", (("outcome", name),)), 0
+        )
+
+    assert outcome("fresh") >= 1
+    assert outcome("memo") >= 1
+    assert outcome("rejected") >= 1
+    assert metrics[("repro_service_workers", ())] == 2
+    # The ledger aggregation shares the exposition.
+    assert ("repro_ledger_records", ()) in metrics
+
+
+def test_http_concurrent_clients_share_one_execution(service):
+    """Satellite: N clients race one recipe -> one fresh execution,
+    proven by the ledger, with bit-identical result payloads."""
+    from repro.obs.ledger import read_ledger
+    from repro.service import ServiceClient
+
+    server, _ = service
+    recipe = make_recipe(accesses=400)
+    d = recipe_to_dict(recipe)
+    results = [None] * 3
+
+    def submit_and_fetch(i):
+        c = ServiceClient(server.url, timeout=60)
+        final = c.wait(c.submit(d)["id"], timeout=60)
+        results[i] = (final["source"], c.result_bytes(final["id"]))
+
+    threads = [threading.Thread(target=submit_and_fetch, args=(i,))
+               for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert all(r is not None for r in results)
+    sources = sorted(s for s, _ in results)
+    assert sources.count("run") == 1
+    assert all(s in ("run", "memo", "disk") for s in sources)
+    assert len({payload for _, payload in results}) == 1
+    ledger = [r.source for r in read_ledger()
+              if r.recipe_key == recipe.key()]
+    assert sorted(ledger).count("run") == 1
+    assert len(ledger) == 3
+
+
+def test_http_both_engines_resolve(service):
+    server, client = service
+    base = make_recipe()
+    payloads = {}
+    for engine in ("object", "fast"):
+        d = recipe_to_dict(base)
+        d["config"]["engine"] = engine
+        final = client.wait(client.submit(d)["id"], timeout=60)
+        assert final["state"] == "done", final["error"]
+        assert final["engine"] == engine
+        payload = client.result(final["id"])
+        payloads[engine] = (payload["cycles"], payload["summary"])
+    # The two engines agree on the counters (the differential-oracle
+    # contract), so the payloads differ only in profile attribution.
+    assert payloads["object"] == payloads["fast"]
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+
+
+def test_cli_serve_submit_jobs(tmp_path, capsys):
+    import json
+
+    from repro.__main__ import main
+    from repro.service import create_server
+
+    server = create_server(port=0, workers=1, mode="thread").start()
+    try:
+        recipe = make_recipe()
+        recipe_file = tmp_path / "recipe.json"
+        recipe_file.write_text(json.dumps(recipe_to_dict(recipe)))
+        rc = main(["submit", "--url", server.url,
+                   "--recipe", str(recipe_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "done" in out
+        assert "cycles:" in out
+
+        rc = main(["jobs", "--url", server.url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "inclusive/lru" in out
+
+        # Flag-built submissions go through the profile workload form.
+        rc = main(["submit", "--url", server.url,
+                   "--workload", "gcc.1", "--scheme", "noninclusive",
+                   "--l2", "256KB", "--accesses", "80"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "noninclusive/lru" in out
+    finally:
+        server.close()
+
+
+def test_cli_submit_reports_rejection(tmp_path, capsys):
+    import json
+
+    from repro.__main__ import main
+    from repro.service import create_server
+
+    server = create_server(port=0, workers=1, mode="thread").start()
+    try:
+        d = recipe_to_dict(make_recipe(unique=False))
+        d["config"]["engine"] = "warp"
+        recipe_file = tmp_path / "bad.json"
+        recipe_file.write_text(json.dumps(d))
+        rc = main(["submit", "--url", server.url,
+                   "--recipe", str(recipe_file)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "config.engine" in captured.err
+    finally:
+        server.close()
