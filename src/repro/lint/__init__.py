@@ -22,13 +22,27 @@ rule id                     invariant enforced
                             ``telemetry is not None`` predicate
 ``event-schema-sync``       emitted event kinds == ``EVENT_KINDS`` ==
                             the schema table in docs/OBSERVABILITY.md
+``ledger-schema-sync``      ``LedgerRecord`` fields == construction
+                            sites == the docs field table
+``lock-discipline``         ``guarded-by[lock]``-declared state holds
+                            its lock at every access and never escapes
+``lock-order``              the acquires-while-holding graph is acyclic
+``fork-safety``             pool-dispatched workers touch no locks,
+                            files, or the run ledger
 ==========================  ================================================
+
+The concurrency rules ride a shared-state dataflow layer
+(:mod:`repro.lint.dataflow`) that classifies each attribute of a
+lock-owning class as thread-confined, lock-guarded, or
+immutable-after-publish, with a three-marker contract vocabulary
+(``# repro-lint: guarded-by[lock]`` / ``holds[lock]`` / ``fork-safe``).
 
 Run it as ``python -m repro lint`` (or ``scripts/run_lint.py``); findings
 are plain ``file:line: [rule] message`` lines or JSON.  A finding is
 silenced for one line with a trailing ``# repro-lint: ignore[rule]``
-comment.  See docs/STATIC_ANALYSIS.md for the rule catalog with the
-history behind each rule.
+comment; ``--write-baseline``/``--baseline`` record known findings and
+fail only on new ones.  See docs/STATIC_ANALYSIS.md for the rule
+catalog with the history behind each rule.
 """
 
 from repro.lint.model import (

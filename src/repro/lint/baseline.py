@@ -1,0 +1,90 @@
+"""Baseline record/compare mode: fail CI only on *new* findings.
+
+A rule should be able to land before the tree is fully clean -- the
+alternative is rules that arrive pre-weakened, scoped around every
+existing violation.  ``repro lint --write-baseline lint_baseline.json``
+records the current findings (the committed baseline is empty: the
+shipped tree is clean); ``repro lint --baseline lint_baseline.json``
+then reports and fails only on findings *not* in the baseline, while
+still reporting how many baselined findings were fixed so the file can
+be re-recorded as the debt is paid down.
+
+Matching deliberately ignores line numbers: editing an unrelated part
+of a file shifts every finding below the edit, and a baseline keyed on
+lines would cry wolf on every such shift.  A finding matches a baseline
+entry when ``(file, rule_id, message)`` agree; duplicates are matched
+with multiplicity (two identical violations in one file need two
+baseline entries).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.model import Finding, findings_from_json, findings_to_json
+from repro.lint.project import LintError
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.file, finding.rule_id, finding.message)
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """The comparison of one lint run against a recorded baseline."""
+
+    new: tuple[Finding, ...]  #: findings absent from the baseline
+    matched: int  #: findings present in both
+    fixed: int  #: baseline entries no current finding matches
+
+    def summary(self, baseline_path: str) -> str:
+        return (
+            f"repro lint: baseline {baseline_path}: "
+            f"{self.matched} known finding(s), {len(self.new)} new, "
+            f"{self.fixed} fixed"
+        )
+
+
+def load_baseline(path: str) -> list[Finding]:
+    """The findings recorded in a baseline file (LintError when the
+    file is missing or not a findings document)."""
+    p = Path(path)
+    if not p.is_file():
+        raise LintError(f"baseline file not found: {path}")
+    try:
+        return findings_from_json(p.read_text())
+    except (ValueError, KeyError, TypeError) as exc:
+        raise LintError(
+            f"baseline file {path} is not a findings document "
+            f"(regenerate it with --write-baseline): {exc}"
+        ) from None
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Record ``findings`` as the new baseline document."""
+    Path(path).write_text(findings_to_json(findings) + "\n")
+
+
+def compare(
+    current: list[Finding], baseline: list[Finding]
+) -> BaselineDelta:
+    """Split ``current`` into baselined and new findings."""
+    remaining: Counter[_Key] = Counter(_key(f) for f in baseline)
+    new: list[Finding] = []
+    matched = 0
+    for finding in sorted(current):
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return BaselineDelta(
+        new=tuple(new),
+        matched=matched,
+        fixed=sum(remaining.values()),
+    )

@@ -10,6 +10,8 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.lint.baseline import compare, load_baseline, write_baseline
+from repro.lint.model import findings_to_json
 from repro.lint.project import LintError
 from repro.lint.registry import all_rules
 from repro.lint.runner import format_findings, lint_paths
@@ -45,6 +47,21 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "compare against a recorded baseline: matched findings are "
+            "reported but only NEW findings fail the run (exit 1)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the baseline and exit 0",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -59,8 +76,28 @@ def run_lint(args: argparse.Namespace) -> int:
         else None
     )
     try:
+        if args.baseline and args.write_baseline:
+            raise LintError(
+                "--baseline and --write-baseline are mutually exclusive"
+            )
         paths = list(args.paths) if args.paths else _existing_defaults()
         findings = lint_paths(paths, rule_ids=rule_ids)
+        if args.write_baseline:
+            write_baseline(args.write_baseline, findings)
+            print(
+                f"repro lint: recorded {len(findings)} finding(s) to "
+                f"{args.write_baseline}"
+            )
+            return 0
+        if args.baseline:
+            delta = compare(findings, load_baseline(args.baseline))
+            if args.format == "json":
+                print(findings_to_json(list(delta.new)))
+            else:
+                for finding in delta.new:
+                    print(finding.format())
+            print(delta.summary(args.baseline), file=sys.stderr)
+            return 1 if delta.new else 0
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

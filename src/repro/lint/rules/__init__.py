@@ -1,11 +1,18 @@
 """Built-in rules (importing this package registers them all)."""
 
-from repro.lint.rules.scope import SIMULATOR_SCOPE  # noqa: F401
+from repro.lint.rules.scope import (  # noqa: F401
+    CONCURRENCY_SCOPE,
+    DETERMINISM_SCOPE,
+    SIMULATOR_SCOPE,
+)
 from repro.lint.rules import (  # noqa: F401
     cache_key,
     counters,
     determinism,
     event_schema,
+    fork_safety,
     ledger_schema,
+    lock_discipline,
+    lock_order,
     telemetry_guard,
 )

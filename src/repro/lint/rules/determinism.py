@@ -28,7 +28,7 @@ from typing import Iterable, Optional
 from repro.lint.model import Finding
 from repro.lint.project import Project, SourceFile
 from repro.lint.registry import Rule, register
-from repro.lint.rules.scope import SIMULATOR_SCOPE
+from repro.lint.rules.scope import DETERMINISM_SCOPE
 from repro.lint.visitor import LintVisitor, dotted_name
 
 #: ``random.<fn>`` calls that hit the module-global, unseeded RNG.
@@ -123,10 +123,11 @@ class DeterminismRule(Rule):
     rule_id = "determinism"
     description = (
         "no unseeded random, wall-clock reads or set-order iteration in "
-        "simulator code (the content-hash result cache requires bitwise "
-        "determinism)"
+        "simulator, service or observability code (the content-hash "
+        "result cache requires bitwise determinism; legitimate "
+        "timestamps carry a rationale suppression)"
     )
-    scope_dirs = SIMULATOR_SCOPE
+    scope_dirs = DETERMINISM_SCOPE
 
     def check(self, project: Project) -> Iterable[Finding]:
         for sf in self.files(project):

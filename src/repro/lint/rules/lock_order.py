@@ -1,0 +1,157 @@
+"""Rule: the acquires-while-holding graph must be acyclic.
+
+Deadlock needs two ingredients: more than one lock, and two code paths
+that take them in opposite orders.  The service layer currently has a
+single ``JobManager`` lock precisely to keep this graph trivial -- and
+the ROADMAP's residuals (multi-host workers, result eviction) are the
+kind of change that quietly adds a second one.  This rule makes the
+ordering invariant checkable before the first stuck thread:
+
+* every ``with self.<lock>:`` entered while other locks are held adds
+  ``held -> acquired`` edges;
+* ``self.m(...)`` calls propagate: a call made with lock ``A`` held
+  reaches every lock the callee (transitively, through further self
+  calls) acquires, so a cycle split across helper methods is still
+  seen;
+* a ``# repro-lint: holds[_lock]`` annotation on a helper counts as
+  holding the lock at entry, so annotated internal APIs participate in
+  the graph exactly as their callers experience them.
+
+Self-edges are ignored: re-acquiring an ``RLock`` you already hold is
+the documented reentrancy pattern (``_publish`` runs under ``submit``'s
+lock via an inline future callback).  Cycles are reported once per
+cycle, deterministically, with the acquire sites that close them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lint import dataflow
+from repro.lint.model import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules.scope import CONCURRENCY_SCOPE
+
+
+def _method_lock_summaries(
+    cls: dataflow.ClassState,
+) -> dict[str, frozenset[str]]:
+    """``{method: locks it (transitively) acquires}`` via self calls."""
+    direct: dict[str, set[str]] = {m: set() for m in cls.method_lines}
+    for event in cls.acquires:
+        direct.setdefault(event.method, set()).add(event.lock)
+    calls: dict[str, set[str]] = {m: set() for m in direct}
+    for call in cls.self_calls:
+        if call.callee in direct:
+            calls.setdefault(call.method, set()).add(call.callee)
+    # Fixpoint over the (small) intra-class call graph.
+    changed = True
+    while changed:
+        changed = False
+        for method, callees in calls.items():
+            for callee in callees:
+                before = len(direct[method])
+                direct[method] |= direct[callee]
+                if len(direct[method]) != before:
+                    changed = True
+    return {m: frozenset(locks) for m, locks in direct.items()}
+
+
+def _edges(
+    cls: dataflow.ClassState,
+) -> dict[tuple[str, str], tuple[int, str]]:
+    """``{(held, acquired): (line, method)}`` -- first site per edge."""
+    out: dict[tuple[str, str], tuple[int, str]] = {}
+    summaries = _method_lock_summaries(cls)
+
+    def add(held: str, acquired: str, line: int, method: str) -> None:
+        if held == acquired:
+            return  # RLock reentrancy, not an ordering edge
+        key = (held, acquired)
+        if key not in out or line < out[key][0]:
+            out[key] = (line, method)
+
+    for event in cls.acquires:
+        for held in event.held:
+            add(held, event.lock, event.line, event.method)
+    for call in cls.self_calls:
+        if not call.held:
+            continue
+        for acquired in summaries.get(call.callee, frozenset()):
+            for held in call.held:
+                add(held, acquired, call.line, call.method)
+    return out
+
+
+def _find_cycles(
+    edges: dict[tuple[str, str], tuple[int, str]]
+) -> list[tuple[str, ...]]:
+    """Every elementary cycle, canonicalised and deduplicated."""
+    graph: dict[str, list[str]] = {}
+    for held, acquired in edges:
+        graph.setdefault(held, []).append(acquired)
+        graph.setdefault(acquired, [])
+    for node in graph:
+        graph[node].sort()
+
+    cycles: set[tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: list[str]) -> None:
+        for nxt in graph[node]:
+            if nxt == start and len(path) > 1:
+                # Canonical rotation: start the cycle at its min node.
+                pivot = path.index(min(path))
+                cycles.add(tuple(path[pivot:] + path[:pivot]))
+            elif nxt not in path and nxt > start:
+                # Only explore nodes > start so each cycle is found from
+                # its minimum node exactly once.
+                dfs(start, nxt, path + [nxt])
+
+    for node in sorted(graph):
+        dfs(node, node, [node])
+    return sorted(cycles)
+
+
+@register
+class LockOrderRule(Rule):
+    rule_id = "lock-order"
+    description = (
+        "the acquires-while-holding graph has no cycles (two paths "
+        "taking two locks in opposite orders can deadlock)"
+    )
+    scope_dirs = CONCURRENCY_SCOPE
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in self.files(project):
+            assert isinstance(sf, SourceFile)
+            for cls in dataflow.analyze_file(sf):
+                if not cls.has_locks:
+                    continue
+                yield from self._check_class(cls)
+
+    def _check_class(self, cls: dataflow.ClassState) -> Iterator[Finding]:
+        edges = _edges(cls)
+        for cycle in _find_cycles(edges):
+            pairs = list(zip(cycle, cycle[1:] + (cycle[0],)))
+            sites = []
+            first_line = None
+            for held, acquired in pairs:
+                line, method = edges[(held, acquired)]
+                sites.append(
+                    f"{method}() takes {acquired} while holding {held} "
+                    f"(line {line})"
+                )
+                if first_line is None or line < first_line:
+                    first_line = line
+            order = " -> ".join(cycle + (cycle[0],))
+            yield Finding(
+                file=cls.source.rel,
+                line=first_line if first_line is not None else 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"{cls.name}: lock-order cycle {order}: "
+                    + "; ".join(sites)
+                    + " -- pick one global order and stick to it"
+                ),
+            )

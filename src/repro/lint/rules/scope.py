@@ -12,3 +12,18 @@ from __future__ import annotations
 SIMULATOR_SCOPE = frozenset(
     ("cache", "core", "coherence", "hierarchy", "schemes", "sim", "fast")
 )
+
+#: Directories holding threaded / forked code: the HTTP job service,
+#: the observability writers it shares with the CLI, and the parallel
+#: runner whose pool workers the service dispatches to.  The
+#: concurrency rules only engage classes that construct a ``threading``
+#: lock, so including all of ``sim`` costs nothing (the simulator core
+#: is single-threaded by design and must stay that way).
+CONCURRENCY_SCOPE = frozenset(("service", "obs", "sim"))
+
+#: Where bitwise determinism is enforced.  PR 10 widened this beyond
+#: the simulator: the service serves cached results whose byte-identity
+#: contract is only as strong as the code around the cache, and the
+#: observability layer's wall-clock use must be *visible* (each read
+#: carries a rationale suppression) rather than assumed harmless.
+DETERMINISM_SCOPE = SIMULATOR_SCOPE | frozenset(("service", "obs"))

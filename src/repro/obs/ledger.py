@@ -174,7 +174,9 @@ def record_from_result(
     )
     return LedgerRecord(
         version=LEDGER_VERSION,
-        ts=time.time(),
+        # Provenance timestamp: when this resolution happened, by
+        # design run-dependent; records are ledger-only, never cached.
+        ts=time.time(),  # repro-lint: ignore[determinism]
         recipe_key=recipe_key,
         workload=result.workload,
         workload_fingerprint=workload_fingerprint,

@@ -140,24 +140,26 @@ class JobManager:
             raise ValueError(f"unknown worker mode {mode!r}")
         self.mode = mode
         self.workers = workers if workers else (os.cpu_count() or 1)
+        # One lock owns every mutable field below; the contract comments
+        # are machine-checked by `repro lint` (lock-discipline).
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._jobs: "dict[str, Job]" = {}
-        self._inflight: "dict[str, str]" = {}  # key -> primary job id
-        self._waiters: "dict[str, list[str]]" = {}  # key -> coalesced ids
-        self._events: "list[dict]" = []
-        self._seq = itertools.count(1)
-        self._next_seq = 1
-        self._job_ids = itertools.count(1)
-        self._tally = _Tally()
-        self._outcomes = {name: 0 for name in OUTCOMES}
-        self._last_progress: Optional[dict] = None
-        self._executor: Optional[concurrent.futures.Executor] = None
-        self._closed = False
+        self._jobs: "dict[str, Job]" = {}  # repro-lint: guarded-by[_lock]
+        self._inflight: "dict[str, str]" = {}  # repro-lint: guarded-by[_lock] (key -> primary job id)
+        self._waiters: "dict[str, list[str]]" = {}  # repro-lint: guarded-by[_lock] (key -> coalesced ids)
+        self._events: "list[dict]" = []  # repro-lint: guarded-by[_lock]
+        self._seq = itertools.count(1)  # repro-lint: guarded-by[_lock]
+        self._next_seq = 1  # repro-lint: guarded-by[_lock]
+        self._job_ids = itertools.count(1)  # repro-lint: guarded-by[_lock]
+        self._tally = _Tally()  # repro-lint: guarded-by[_lock]
+        self._outcomes = {name: 0 for name in OUTCOMES}  # repro-lint: guarded-by[_lock]
+        self._last_progress: Optional[dict] = None  # repro-lint: guarded-by[_lock]
+        self._executor: Optional[concurrent.futures.Executor] = None  # repro-lint: guarded-by[_lock]
+        self._closed = False  # repro-lint: guarded-by[_lock]
 
     # -- executor ----------------------------------------------------------
 
-    def _ensure_executor(self) -> concurrent.futures.Executor:
+    def _ensure_executor(self) -> concurrent.futures.Executor:  # repro-lint: holds[_lock]
         if self._executor is None:
             if self.mode == "process":
                 ctx = multiprocessing.get_context(parallel._start_method())
@@ -177,7 +179,9 @@ class JobManager:
         """Submit one recipe; returns the job's view immediately (the
         job may already be ``done`` when the result was cached)."""
         key = recipe.key()
-        now = time.time()
+        # Submission timestamps are job metadata for /jobs views; they
+        # never enter a SimResult or a cache key.
+        now = time.time()  # repro-lint: ignore[determinism]
         with self._lock:
             if self._closed:
                 raise RuntimeError("job manager is closed")
@@ -207,9 +211,17 @@ class JobManager:
             # in this thread (the RLock is reentrant) -- publishing
             # afterwards would order 'running' after 'done'.
             self._publish("running", job)
-            future = self._ensure_executor().submit(
-                _dispatch_execute, (key, recipe)
-            )
+            try:
+                future = self._ensure_executor().submit(
+                    _dispatch_execute, (key, recipe)
+                )
+            except BaseException as exc:  # noqa: BLE001 - must unwedge key
+                # A dispatch failure (broken process pool, interpreter
+                # shutdown) must not strand the key: the stale _inflight
+                # entry would make every later submission of this recipe
+                # coalesce onto a primary that can never finish.
+                self._on_error(key, exc)
+                return job.view()
             future.add_done_callback(
                 lambda f, key=key: self._on_future(key, f)
             )
@@ -253,19 +265,21 @@ class JobManager:
                 job = self._jobs[jid]
                 job.state = "failed"
                 job.error = message
-                job.finished_ts = time.time()
+                # Failure timestamp: job metadata, not simulation state.
+                job.finished_ts = time.time()  # repro-lint: ignore[determinism]
                 self._tally.failed += 1
                 self._outcomes["failed"] += 1
                 self._publish("failed", job)
             self._cond.notify_all()
 
-    def _resolve(self, job: Job, result: Any, source: str,
+    def _resolve(self, job: Job, result: Any, source: str,  # repro-lint: holds[_lock]
                  wall_s: float) -> None:
         """Complete one job from a result (lock held): ledger record,
         tallies, state."""
         job.state = "done"
         job.source = source
-        job.finished_ts = time.time()
+        # Completion timestamp: job metadata, not simulation state.
+        job.finished_ts = time.time()  # repro-lint: ignore[determinism]
         job.wall_s = wall_s
         job.accesses = result.stats.total_accesses
         parallel.record_resolution(job.recipe, job.key, result, source,
@@ -287,7 +301,7 @@ class JobManager:
 
     # -- progress / events -------------------------------------------------
 
-    def _progress(self, job: Job) -> dict:
+    def _progress(self, job: Job) -> dict:  # repro-lint: holds[_lock]
         """A :class:`~repro.sim.telemetry.RunProgress`-shaped heartbeat
         for one resolved job (lock held)."""
         import dataclasses
@@ -307,7 +321,8 @@ class JobManager:
             from_memo=t.from_memo,
             from_disk=t.from_disk,
             simulated=t.simulated,
-            elapsed_s=time.time() - t.started_ts,
+            # Heartbeat wall time: progress reporting, never cached.
+            elapsed_s=time.time() - t.started_ts,  # repro-lint: ignore[determinism]
             accesses=t.accesses,
             accesses_per_s=rate,
             eta_s=None,
@@ -315,11 +330,13 @@ class JobManager:
             engine=job.recipe.config.engine,
         ))
 
-    def _publish(self, kind: str, job: Job) -> None:
+    def _publish(self, kind: str, job: Job) -> None:  # repro-lint: holds[_lock]
         """Append one event to the subscriber log (lock held)."""
         event = {
             "seq": next(self._seq),
-            "ts": time.time(),
+            # Event timestamp for SSE consumers; ordering comes from
+            # `seq`, so the clock is cosmetic.
+            "ts": time.time(),  # repro-lint: ignore[determinism]
             "kind": kind,
             "job": job.view(),
         }

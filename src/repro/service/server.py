@@ -319,8 +319,13 @@ class ServiceServer:
         self._httpd.manager = self.manager  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._httpd.stopping = False  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
-        self._closed = False
+        # Lifecycle state.  Without the lock, two concurrent close()
+        # calls both pass the check-then-act on _closed and server_close
+        # runs twice on one socket (found by `repro lint` bring-up,
+        # regression-tested in tests/test_service.py).
+        self._state_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None  # repro-lint: guarded-by[_state_lock]
+        self._closed = False  # repro-lint: guarded-by[_state_lock]
 
     @property
     def host(self) -> str:
@@ -336,12 +341,15 @@ class ServiceServer:
 
     def start(self) -> "ServiceServer":
         """Serve on a background daemon thread; returns self."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._httpd.serve_forever,
-                name="repro-service-http", daemon=True,
-            )
-            self._thread.start()
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("service server is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._httpd.serve_forever,
+                    name="repro-service-http", daemon=True,
+                )
+                self._thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -349,15 +357,20 @@ class ServiceServer:
         self._httpd.serve_forever()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._thread = None
+        # Exactly one caller reaches this point; the teardown itself
+        # runs unlocked so a concurrent (idempotent) close() never
+        # blocks behind shutdown().
         self._httpd.stopping = True  # type: ignore[attr-defined]
         self._httpd.shutdown()
         self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
         self.manager.close()
 
     def __enter__(self) -> "ServiceServer":

@@ -29,7 +29,10 @@ EXPECTED_RULES = (
     "counter-discipline",
     "determinism",
     "event-schema-sync",
+    "fork-safety",
     "ledger-schema-sync",
+    "lock-discipline",
+    "lock-order",
     "telemetry-guard",
 )
 
@@ -708,6 +711,700 @@ class TestCli:
         findings = lint_paths(["src/repro", "docs"])
         assert findings_from_json(findings_to_json(findings)) == findings
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Concurrency contracts: lock-discipline
+# ---------------------------------------------------------------------------
+
+_MGR_HEADER = (
+    "import threading\n"
+    "class Manager:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._jobs = {}  # repro-lint: guarded-by[_lock]\n"
+)
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def drop(self, k):\n"
+                "        self._jobs.pop(k, None)\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert any("unguarded write to '_jobs'" in f.message
+                   for f in findings)
+
+    def test_locked_access_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def drop(self, k):\n"
+                "        with self._lock:\n"
+                "            self._jobs.pop(k, None)\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_condition_aliases_its_lock(self, tmp_path):
+        """`with self._cond:` counts as holding the underlying lock."""
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._cond = threading.Condition(self._lock)\n"
+                "        self._n = 0  # repro-lint: guarded-by[_lock]\n"
+                "    def bump(self):\n"
+                "        with self._cond:\n"
+                "            self._n += 1\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_holds_annotation_satisfies_the_guard(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def _drop(self, k):  # repro-lint: holds[_lock]\n"
+                "        self._jobs.pop(k, None)\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_stale_declaration_fires(self, tmp_path):
+        """declared-but-never-guarded: dead contract comments rot."""
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._ghost = None  # repro-lint: guarded-by[_lock]\n"
+                "    def noop(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert len(findings) == 1
+        assert "never accessed outside __init__" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_guarded_but_never_declared_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "    def add(self, x):\n"
+                "        with self._lock:\n"
+                "            self._items.append(x)\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert len(findings) == 1
+        assert "guarded-by[_lock]" in findings[0].message
+        assert "carries no declaration" in findings[0].message
+
+    def test_declaration_naming_unknown_lock_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._x = 0  # repro-lint: guarded-by[_mutex]\n"
+                "    def get(self):\n"
+                "        with self._lock:\n"
+                "            return self._x + 1\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert any("no lock named '_mutex'" in f.message for f in findings)
+
+    def test_race_signal_on_mixed_access(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._n = 0\n"
+                "    def locked_bump(self):\n"
+                "        with self._lock:\n"
+                "            self._n += 1\n"
+                "    def racy_reset(self):\n"
+                "        self._n = 0\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert len(findings) == 1
+        assert "race signal" in findings[0].message
+        assert findings[0].line == 10
+
+    def test_read_only_config_needs_no_declaration(self, tmp_path):
+        """Attributes never written after __init__ are
+        immutable-after-publish even when reads happen under a lock."""
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self, mode):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.mode = mode\n"
+                "    def describe(self):\n"
+                "        with self._lock:\n"
+                "            return self.mode + '!'\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_return_escape_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def peek(self):\n"
+                "        with self._lock:\n"
+                "            return self._jobs\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert any("returns guarded attribute '_jobs'" in f.message
+                   for f in findings)
+
+    def test_return_from_holds_helper_is_the_contract(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def _jobs_ref(self):  # repro-lint: holds[_lock]\n"
+                "        return self._jobs\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_yield_inside_critical_section_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": (
+                "import threading\n"
+                "class Manager:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._events = []\n"
+                "    def stream(self):\n"
+                "        with self._lock:\n"
+                "            for e in self._events:\n"
+                "                yield e\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert any("yields while holding _lock" in f.message
+                   for f in findings)
+
+    def test_executor_closure_capture_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def flush(self, pool):\n"
+                "        pool.submit(lambda: self._jobs.clear())\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert any("captures guarded" in f.message for f in findings)
+
+    def test_callback_invoking_locked_method_stays_quiet(self, tmp_path):
+        """The correct cross-thread idiom: hand the pool a *method* that
+        takes the lock itself, never the guarded object."""
+        findings = lint_tree(tmp_path, {
+            "service/mgr.py": _MGR_HEADER + (
+                "    def _on_done(self, f):\n"
+                "        with self._lock:\n"
+                "            self._jobs.clear()\n"
+                "    def flush(self, future):\n"
+                "        future.add_done_callback(\n"
+                "            lambda f: self._on_done(f)\n"
+                "        )\n"
+            ),
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+    def test_classless_module_is_skipped(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/util.py": "def helper(x):\n    return x + 1\n",
+        }, rules=["lock-discipline"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Concurrency contracts: lock-order
+# ---------------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_two_lock_inversion_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/two.py": (
+                "import threading\n"
+                "class Two:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "    def ab(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n"
+                "    def ba(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                pass\n"
+            ),
+        }, rules=["lock-order"])
+        assert len(findings) == 1
+        assert "lock-order cycle _a -> _b -> _a" in findings[0].message
+
+    def test_consistent_order_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/two.py": (
+                "import threading\n"
+                "class Two:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "    def one(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n"
+                "    def other(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                pass\n"
+            ),
+        }, rules=["lock-order"])
+        assert findings == []
+
+    def test_cycle_through_helper_call_fires(self, tmp_path):
+        """Call propagation: an inversion split across a helper method
+        is still a cycle."""
+        findings = lint_tree(tmp_path, {
+            "service/two.py": (
+                "import threading\n"
+                "class Two:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "    def outer(self):\n"
+                "        with self._a:\n"
+                "            self._inner()\n"
+                "    def _inner(self):\n"
+                "        with self._b:\n"
+                "            pass\n"
+                "    def rev(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                pass\n"
+            ),
+        }, rules=["lock-order"])
+        assert len(findings) == 1
+        assert "cycle" in findings[0].message
+
+    def test_rlock_reentrancy_is_not_a_cycle(self, tmp_path):
+        """Re-taking the same RLock (the JobManager callback pattern)
+        is a self-edge, not an inversion."""
+        findings = lint_tree(tmp_path, {
+            "service/re.py": (
+                "import threading\n"
+                "class Re:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.RLock()\n"
+                "        self._cond = threading.Condition(self._lock)\n"
+                "    def outer(self):\n"
+                "        with self._lock:\n"
+                "            with self._cond:\n"
+                "                pass\n"
+            ),
+        }, rules=["lock-order"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Concurrency contracts: fork-safety
+# ---------------------------------------------------------------------------
+
+
+class TestForkSafety:
+    def test_lock_across_fork_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "import threading\n"
+                "LOCK = threading.Lock()\n"
+                "def work(item):\n"
+                "    with LOCK:\n"
+                "        return item\n"
+                "def run(pool, items):\n"
+                "    return pool.map(work, items)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert len(findings) == 1
+        assert "with LOCK:" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_file_handle_in_worker_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "def work(item):\n"
+                "    return open(item).read()\n"
+                "def run(pool, items):\n"
+                "    return pool.imap(work, items)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert len(findings) == 1
+        assert "opens a file handle" in findings[0].message
+
+    def test_fork_safe_marker_whitelists(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "def work(item):  # repro-lint: fork-safe\n"
+                "    return open(item).read()\n"
+                "def run(pool, items):\n"
+                "    return pool.imap(work, items)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert findings == []
+
+    def test_pure_worker_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "def work(item):\n"
+                "    return item * 2\n"
+                "def run(pool, items):\n"
+                "    return pool.map(work, items)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert findings == []
+
+    def test_transitive_callee_is_walked(self, tmp_path):
+        """A violation two calls deep (and across modules) still fires."""
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "from service import disk\n"
+                "def work(item):\n"
+                "    return disk.load(item)\n"
+                "def run(pool, items):\n"
+                "    return pool.map(work, items)\n"
+            ),
+            "service/disk.py": (
+                "def load(path):\n"
+                "    return open(path).read()\n"
+            ),
+        }, rules=["fork-safety"])
+        assert len(findings) == 1
+        assert findings[0].file.endswith("service/disk.py")
+
+    def test_worker_reaching_ledger_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "service/worker.py": (
+                "from repro.obs.ledger import append_record\n"
+                "def work(item):\n"
+                "    append_record(item)\n"
+                "    return item\n"
+                "def run(pool, items):\n"
+                "    return pool.map(work, items)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert any("parent-process-only" in f.message for f in findings)
+
+    def test_ledger_two_writes_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "obs/ledger.py": (
+                "import os\n"
+                "def append_record(rec):\n"
+                "    fd = os.open('l', os.O_APPEND | os.O_WRONLY)\n"
+                "    os.write(fd, b'a')\n"
+                "    os.write(fd, b'b')\n"
+                "    os.close(fd)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert len(findings) == 1
+        assert "exactly one write" in findings[0].message
+
+    def test_ledger_missing_o_append_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "obs/ledger.py": (
+                "import os\n"
+                "def append_record(rec):\n"
+                "    fd = os.open('l', os.O_WRONLY)\n"
+                "    os.write(fd, rec)\n"
+                "    os.close(fd)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert len(findings) == 1
+        assert "without O_APPEND" in findings[0].message
+
+    def test_ledger_buffered_append_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "obs/ledger.py": (
+                "def append_record(rec):\n"
+                "    with open('l', 'a') as fh:\n"
+                "        fh.write(rec)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert findings
+        assert any("os.open" in f.message for f in findings)
+
+    def test_disciplined_ledger_stays_quiet(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "obs/ledger.py": (
+                "import os\n"
+                "def append_record(rec):\n"
+                "    fd = os.open('l', os.O_APPEND | os.O_CREAT "
+                "| os.O_WRONLY)\n"
+                "    try:\n"
+                "        os.write(fd, rec)\n"
+                "    finally:\n"
+                "        os.close(fd)\n"
+            ),
+        }, rules=["fork-safety"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# The dataflow layer itself
+# ---------------------------------------------------------------------------
+
+
+class TestDataflow:
+    def analyze(self, tmp_path, source):
+        from repro.lint.dataflow import analyze_file
+
+        p = tmp_path / "service"
+        p.mkdir(exist_ok=True)
+        (p / "m.py").write_text(source)
+        project = Project([str(p)], root=str(tmp_path))
+        return analyze_file(project.files[0])
+
+    def test_classification_three_ways(self, tmp_path):
+        from repro.lint.dataflow import (
+            CONFINED, GUARDED, IMMUTABLE, classify_attr,
+        )
+
+        (cls,) = self.analyze(tmp_path, (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.frozen = 1\n"
+            "        self.guarded = 2\n"
+            "        self.local = 3\n"
+            "    def use(self):\n"
+            "        with self._lock:\n"
+            "            self.guarded += 1\n"
+            "        self.local += self.frozen\n"
+        ))
+        assert classify_attr(cls, "frozen") == IMMUTABLE
+        assert classify_attr(cls, "guarded") == GUARDED
+        assert classify_attr(cls, "local") == CONFINED
+
+    def test_condition_alias_canonicalises(self, tmp_path):
+        (cls,) = self.analyze(tmp_path, (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._cond = threading.Condition(self._lock)\n"
+        ))
+        assert set(cls.locks) == {"_lock", "_cond"}
+        assert cls.canonical("_cond") == "_lock"
+
+    def test_lexical_locks_cross_into_wait_predicates(self, tmp_path):
+        """The Condition.wait_for lambda runs with the lock held; the
+        lexical model must agree."""
+        (cls,) = self.analyze(tmp_path, (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition(self._lock)\n"
+            "        self._seq = 0\n"
+            "    def wait(self, n):\n"
+            "        with self._cond:\n"
+            "            self._cond.wait_for(lambda: self._seq > n)\n"
+        ))
+        (access,) = [a for a in cls.accesses if not a.in_init]
+        assert access.attr == "_seq"
+        assert access.in_closure
+        assert "_lock" in access.held
+
+    def test_marker_parsing(self):
+        from repro.lint.dataflow import contract_markers, fork_safe_lines
+
+        src = (
+            "a = 1  # repro-lint: guarded-by[_lock]\n"
+            "def f():  # repro-lint: holds[_a, _b]\n"
+            "    pass\n"
+            "def g():  # repro-lint: fork-safe\n"
+            "    pass\n"
+        )
+        markers = contract_markers(src)
+        assert markers[1].verb == "guarded-by"
+        assert markers[1].args == ("_lock",)
+        assert markers[2].verb == "holds"
+        assert markers[2].args == ("_a", "_b")
+        assert fork_safe_lines(src) == frozenset((4,))
+
+    def test_real_jobmanager_contract_is_live(self, monkeypatch):
+        """Non-vacuity: the shipped JobManager is a lock-bearing class
+        with a declared contract the analyzer actually checks."""
+        from repro.lint.dataflow import analyze_file
+
+        monkeypatch.chdir(REPO_ROOT)
+        project = Project(["src/repro/service/jobs.py"])
+        classes = {
+            c.name: c for c in analyze_file(project.files[0])
+        }
+        mgr = classes["JobManager"]
+        assert mgr.canonical("_cond") == "_lock"
+        assert "_jobs" in mgr.declared
+        assert "_inflight" in mgr.declared
+        assert mgr.holds.get("_publish") == frozenset(("_lock",))
+        # And the analyzer sees real locked accesses to check.
+        assert any(
+            a.attr == "_jobs" and "_lock" in a.held for a in mgr.accesses
+        )
+
+
+# ---------------------------------------------------------------------------
+# Baseline record/compare
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    BAD = "import time\nT = time.time()\n"
+
+    def _tree(self, tmp_path):
+        sim = tmp_path / "sim"
+        sim.mkdir(exist_ok=True)
+        (sim / "bad.py").write_text(self.BAD)
+
+    def test_known_findings_pass_new_findings_fail(self, capsys,
+                                                   monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--write-baseline", "base.json"]) == 0
+        capsys.readouterr()
+        # The recorded violation no longer fails the run...
+        assert main(["lint", "sim", "--baseline", "base.json"]) == 0
+        err = capsys.readouterr().err
+        assert "1 known finding(s), 0 new, 0 fixed" in err
+        # ...but a new one does, and is the only one reported.
+        (tmp_path / "sim" / "worse.py").write_text(self.BAD)
+        assert main(["lint", "sim", "--baseline", "base.json"]) == 1
+        captured = capsys.readouterr()
+        assert "worse.py" in captured.out
+        assert "bad.py" not in captured.out
+        assert "1 known finding(s), 1 new, 0 fixed" in captured.err
+
+    def test_line_shifts_do_not_defeat_the_baseline(self, capsys,
+                                                    monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--write-baseline", "base.json"]) == 0
+        (tmp_path / "sim" / "bad.py").write_text("# pushed down\n" + self.BAD)
+        assert main(["lint", "sim", "--baseline", "base.json"]) == 0
+
+    def test_fixed_findings_are_counted(self, capsys, monkeypatch,
+                                        tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--write-baseline", "base.json"]) == 0
+        (tmp_path / "sim" / "bad.py").write_text("CLEAN = 1\n")
+        assert main(["lint", "sim", "--baseline", "base.json"]) == 0
+        assert "0 known finding(s), 0 new, 1 fixed" in capsys.readouterr().err
+
+    def test_json_format_reports_only_new(self, capsys, monkeypatch,
+                                          tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--write-baseline", "base.json"]) == 0
+        (tmp_path / "sim" / "worse.py").write_text(self.BAD)
+        capsys.readouterr()
+        assert main(
+            ["lint", "sim", "--format", "json", "--baseline", "base.json"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["file"].endswith("worse.py")
+
+    def test_flags_are_mutually_exclusive(self, capsys, monkeypatch,
+                                          tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--baseline", "b.json",
+                     "--write-baseline", "b.json"]) == 2
+
+    def test_missing_baseline_is_usage_error(self, capsys, monkeypatch,
+                                             tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        self._tree(tmp_path)
+        assert main(["lint", "sim", "--baseline", "missing.json"]) == 2
+
+    def test_committed_baseline_is_empty_and_current(self, monkeypatch):
+        """The shipped lint_baseline.json records a clean tree -- when
+        this fails, re-record it (and ask why the tree regressed)."""
+        from repro.lint.baseline import compare, load_baseline
+
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = load_baseline("lint_baseline.json")
+        assert baseline == []
+        delta = compare(lint_paths(["src/repro", "docs"]), baseline)
+        assert delta.new == ()
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract (docs/STATIC_ANALYSIS.md: 0 clean / 1 findings /
+# 2 usage error -- parse errors are findings, hence exit 1)
+# ---------------------------------------------------------------------------
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["lint", "ok.py"]) == 0
+
+    def test_findings_exit_one(self, capsys, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "bad.py").write_text("import time\nT = time.time()\n")
+        assert main(["lint", "sim"]) == 1
+
+    def test_parse_error_only_tree_exits_one(self, capsys, monkeypatch,
+                                             tmp_path):
+        """A syntax error is a finding, not a usage error: the tree was
+        lintable, its content was not clean."""
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main(["lint", "broken.py"]) == 1
+        assert "[parse-error]" in capsys.readouterr().out
+
+    def test_usage_errors_exit_two(self, capsys, monkeypatch, tmp_path):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["lint", "no/such/path"]) == 2
+        assert main(["lint", "ok.py", "--rules", "bogus"]) == 2
 
 
 class TestProject:

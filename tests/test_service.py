@@ -245,6 +245,67 @@ def test_manager_records_failures(monkeypatch):
         manager.close()
 
 
+def test_manager_dispatch_failure_does_not_strand_the_key(monkeypatch):
+    """Regression (found by `repro lint` bring-up): an executor.submit
+    that raised used to leave the recipe key in ``_inflight``, so every
+    later submission of that recipe coalesced onto a primary that could
+    never finish."""
+    from repro.service.jobs import JobManager
+
+    class BrokenPool:
+        def submit(self, fn, item):
+            raise RuntimeError("pool is broken")
+
+    recipe = make_recipe()
+    manager = JobManager(workers=1, mode="thread")
+    try:
+        monkeypatch.setattr(
+            manager, "_ensure_executor", lambda: BrokenPool()
+        )
+        view = manager.submit(recipe)
+        assert view["state"] == "failed"
+        assert "pool is broken" in view["error"]
+        monkeypatch.undo()
+        # The same recipe must dispatch fresh, not coalesce onto the
+        # dead primary.
+        second = manager.wait(manager.submit(recipe)["id"], timeout=30)
+        assert second["state"] == "done"
+        assert second["source"] == "run"
+        assert not second.get("coalesced_into")
+    finally:
+        manager.close()
+
+
+def test_server_concurrent_close_is_race_free():
+    """Regression (found by `repro lint` bring-up): two concurrent
+    ``close()`` calls both passed the unguarded check-then-act on
+    ``_closed`` and ran ``server_close()`` twice on one socket."""
+    from repro.service import create_server
+
+    server = create_server(port=0, workers=1, mode="thread").start()
+    errors: "list[BaseException]" = []
+    barrier = threading.Barrier(4)
+
+    def closer():
+        barrier.wait(timeout=10)
+        try:
+            server.close()
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=15)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    # And a closed server stays closed: start() after close() is an
+    # error, not a silent relisten on a dead socket.
+    with pytest.raises(RuntimeError, match="closed"):
+        server.start()
+
+
 # ---------------------------------------------------------------------------
 # HTTP surface
 
